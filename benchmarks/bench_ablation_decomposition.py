@@ -1,0 +1,64 @@
+"""Ablation: how much does the DP decomposition buy? (DESIGN.md index)
+
+Compares, under the §4.3 cost model for the z-buffer application, the DP
+plan against the Default placement, the everything-at-source placement,
+and random plans — the DP plan must be at least as good as all of them
+(it is exact), and strictly better than Default here.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.apps import make_zbuffer_app
+from repro.core.compiler import (
+    CompileOptions,
+    analyze_source,
+    compute_problem,
+    decompose,
+    default_plan,
+    source_only_plan,
+)
+from repro.cost import cluster_config
+from repro.decompose import DecompositionPlan, enumerate_plans
+
+
+@pytest.fixture(scope="module")
+def problem_and_plans():
+    app = make_zbuffer_app()
+    workload = app.make_workload(dataset="small", num_packets=16)
+    options = CompileOptions(
+        env=cluster_config(2),
+        profile=workload.profile,
+        size_hints=dict(app.size_hints),
+        method_costs=dict(app.method_costs),
+    )
+    checked, chain, comm = analyze_source(app.source, app.registry)
+    tasks, vols, problem = compute_problem(chain, comm, options)
+    plan, cost = decompose(problem, options)
+    return chain, problem, plan, cost
+
+
+def test_ablation_dp_beats_heuristics(benchmark, problem_and_plans):
+    chain, problem, plan, cost = problem_and_plans
+
+    def evaluate_all():
+        dp_time = problem.evaluate(plan)
+        default_time = problem.evaluate(default_plan(chain, problem.m))
+        source_time = problem.evaluate(source_only_plan(chain, problem.m))
+        rng = random.Random(5)
+        all_plans = list(enumerate_plans(problem.n_filters, problem.m))
+        random_times = [
+            problem.evaluate(rng.choice(all_plans)) for _ in range(32)
+        ]
+        return dp_time, default_time, source_time, random_times
+
+    dp_time, default_time, source_time, random_times = benchmark(evaluate_all)
+    assert dp_time <= default_time + 1e-12
+    assert dp_time <= source_time + 1e-12
+    assert all(dp_time <= t + 1e-12 for t in random_times)
+    assert dp_time < default_time, "DP should strictly beat Default here"
+    benchmark.extra_info["dp_over_default"] = round(default_time / dp_time, 3)
+    benchmark.extra_info["dp_over_source_only"] = round(source_time / dp_time, 3)

@@ -1,0 +1,47 @@
+"""Ablation: packet-count sweep (the paper's §8 'automatically choosing
+the packet size is another issue' future work).
+
+Sweeps the number of packets for the knn workload under the §4.3 model:
+too few packets starve the pipeline (the (N-1)·bottleneck term cannot
+amortize the fill), too many pay per-packet overheads (latency per
+buffer).  The sweep must show the fill-amortization effect: the estimated
+time per element decreases from N=1 to moderate N.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import make_knn_app
+from repro.core.compiler import CompileOptions, analyze_source, compute_problem, decompose
+from repro.cost import cluster_config
+
+
+def estimate_for_packets(num_packets: int) -> float:
+    app = make_knn_app(k=3)
+    workload = app.make_workload(n_points=60_000, num_packets=num_packets)
+    options = CompileOptions(
+        env=cluster_config(2),
+        profile=workload.profile,
+        size_hints=dict(app.size_hints),
+        method_costs=dict(app.method_costs),
+    )
+    checked, chain, comm = analyze_source(app.source, app.registry)
+    _tasks, _vols, problem = compute_problem(chain, comm, options)
+    plan, _cost = decompose(problem, options)
+    return problem.evaluate(plan)
+
+
+def test_ablation_packet_size_sweep(benchmark):
+    counts = [1, 2, 4, 8, 16, 32, 64]
+
+    def sweep():
+        return {n: estimate_for_packets(n) for n in counts}
+
+    times = benchmark(sweep)
+    # pipelining needs packets: one packet cannot overlap stages
+    assert times[16] < times[1], f"no pipelining benefit: {times}"
+    # and the benefit saturates rather than growing without bound
+    assert times[64] > 0.5 * times[16]
+    for n, t in times.items():
+        benchmark.extra_info[f"packets_{n}"] = round(t, 6)

@@ -1,0 +1,44 @@
+"""Figure 6: isosurface z-buffer, large dataset (paper §6.3).
+
+Paper series: Decomp 20-25% faster; speedups 1.99 (w2), 3.82 (w4)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import assert_figure, attach_figure_info
+from repro.apps import make_zbuffer_app
+from repro.datacutter import run_pipeline
+from repro.experiments.figures import figure6
+from repro.experiments.harness import _specs_for_version
+from repro.cost import cluster_config
+
+
+@pytest.fixture(scope="module")
+def figure():
+    return figure6()
+
+
+@pytest.fixture(scope="module")
+def app_and_workload():
+    app = make_zbuffer_app()
+    return app, app.make_workload(dataset="large", num_packets=24)
+
+
+def _pipeline_runner(app, workload, version):
+    specs, _ = _specs_for_version(app, workload, version, cluster_config(1))
+    run_pipeline(specs)  # warm
+    return lambda: run_pipeline(specs)
+
+
+def test_fig6_default_pipeline(benchmark, app_and_workload, quick_rounds):
+    app, workload = app_and_workload
+    benchmark.pedantic(_pipeline_runner(app, workload, "Default"), **quick_rounds)
+
+
+def test_fig6_decomp_pipeline(benchmark, app_and_workload, figure, quick_rounds):
+    app, workload = app_and_workload
+    benchmark.pedantic(_pipeline_runner(app, workload, "Decomp-Comp"), **quick_rounds)
+    attach_figure_info(benchmark, figure)
+    assert_figure(figure)

@@ -1,0 +1,44 @@
+"""Figure 8: isosurface active pixels, large dataset (paper §6.3).
+
+Paper series: Decomp 15-25% faster; near-linear width speedups
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import assert_figure, attach_figure_info
+from repro.apps import make_active_pixels_app
+from repro.datacutter import run_pipeline
+from repro.experiments.figures import figure8
+from repro.experiments.harness import _specs_for_version
+from repro.cost import cluster_config
+
+
+@pytest.fixture(scope="module")
+def figure():
+    return figure8()
+
+
+@pytest.fixture(scope="module")
+def app_and_workload():
+    app = make_active_pixels_app()
+    return app, app.make_workload(dataset="large", num_packets=24)
+
+
+def _pipeline_runner(app, workload, version):
+    specs, _ = _specs_for_version(app, workload, version, cluster_config(1))
+    run_pipeline(specs)  # warm
+    return lambda: run_pipeline(specs)
+
+
+def test_fig8_default_pipeline(benchmark, app_and_workload, quick_rounds):
+    app, workload = app_and_workload
+    benchmark.pedantic(_pipeline_runner(app, workload, "Default"), **quick_rounds)
+
+
+def test_fig8_decomp_pipeline(benchmark, app_and_workload, figure, quick_rounds):
+    app, workload = app_and_workload
+    benchmark.pedantic(_pipeline_runner(app, workload, "Decomp-Comp"), **quick_rounds)
+    attach_figure_info(benchmark, figure)
+    assert_figure(figure)

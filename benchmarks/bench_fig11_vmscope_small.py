@@ -1,0 +1,49 @@
+"""Figure 11: virtual microscope, small query (paper §6.5).
+
+Paper series: limited speedups (load imbalance); Comp ~20% slower than Manual, ~40% faster than Default
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import assert_figure, attach_figure_info
+from repro.apps import make_vmscope_app
+from repro.datacutter import run_pipeline
+from repro.experiments.figures import figure11
+from repro.experiments.harness import _specs_for_version
+from repro.cost import cluster_config
+
+
+@pytest.fixture(scope="module")
+def figure():
+    return figure11()
+
+
+@pytest.fixture(scope="module")
+def app_and_workload():
+    app = make_vmscope_app()
+    return app, app.make_workload(query="small", num_packets=16)
+
+
+def _pipeline_runner(app, workload, version):
+    specs, _ = _specs_for_version(app, workload, version, cluster_config(1))
+    run_pipeline(specs)  # warm
+    return lambda: run_pipeline(specs)
+
+
+def test_fig11_default_pipeline(benchmark, app_and_workload, quick_rounds):
+    app, workload = app_and_workload
+    benchmark.pedantic(_pipeline_runner(app, workload, "Default"), **quick_rounds)
+
+
+def test_fig11_decomp_pipeline(benchmark, app_and_workload, figure, quick_rounds):
+    app, workload = app_and_workload
+    benchmark.pedantic(_pipeline_runner(app, workload, "Decomp-Comp"), **quick_rounds)
+    attach_figure_info(benchmark, figure)
+    assert_figure(figure)
+
+
+def test_fig11_manual_pipeline(benchmark, app_and_workload, quick_rounds):
+    app, workload = app_and_workload
+    benchmark.pedantic(_pipeline_runner(app, workload, "Decomp-Manual"), **quick_rounds)

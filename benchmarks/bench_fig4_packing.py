@@ -1,0 +1,89 @@
+"""Figure 4: instance-wise vs field-wise packet packing (paper §5).
+
+The paper's packing rule: fields first consumed by the receiving filter
+pack instance-wise (interleaved records, one sweep to unpack them all);
+fields consumed by later filters pack field-wise (contiguous regions that
+can be forwarded without reshuffling).  This bench measures pack+unpack
+for both layouts and the mixed layout the compiler emits, and verifies
+bit-exact round-trips.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codegen.buffers import BatchBuilder, pack, unpack
+from repro.codegen.layout import ColumnSpec, PacketLayout
+
+N_RECORDS = 4096
+RNG = np.random.default_rng(99)
+
+
+def make_layout(groups: list[str]) -> PacketLayout:
+    layout = PacketLayout()
+    for i, group in enumerate(groups):
+        layout.columns.append(
+            ColumnSpec(
+                name=f"f{i}",
+                source=f"rec.f{i}",
+                dtype=np.dtype(np.float64),
+                group=group,
+                first_consumer=i,
+            )
+        )
+    return layout
+
+
+def make_batch(layout: PacketLayout):
+    builder = BatchBuilder(layout, packet=0)
+    data = {c.name: RNG.uniform(0, 1, N_RECORDS) for c in layout.columns}
+    for r in range(N_RECORDS):
+        builder.append(**{name: col[r] for name, col in data.items()})
+    return builder.build()
+
+
+def roundtrip(batch, layout):
+    return unpack(pack(batch, layout), layout)
+
+
+@pytest.mark.parametrize(
+    "label,groups",
+    [
+        ("instance_wise", ["instance"] * 4),
+        ("field_wise", ["fieldwise"] * 4),
+        ("mixed_sec5_rule", ["instance", "instance", "fieldwise", "fieldwise"]),
+    ],
+)
+def test_fig4_packing(benchmark, label, groups):
+    layout = make_layout(groups)
+    batch = make_batch(layout)
+    out = benchmark(roundtrip, batch, layout)
+    for col in layout.columns:
+        assert np.array_equal(out.columns[col.source], batch.columns[col.source])
+    benchmark.extra_info["layout"] = label
+    benchmark.extra_info["records"] = N_RECORDS
+    benchmark.extra_info["bytes"] = len(pack(batch, layout))
+
+
+def test_fig4_ragged_fieldwise(benchmark):
+    """Variable-length values (triangle lists) force field-wise packing
+    with an offsets table — the generalized §5 arrangement."""
+    layout = PacketLayout()
+    layout.columns.append(
+        ColumnSpec(
+            name="tris",
+            source="tris",
+            dtype=np.dtype(np.float64),
+            ragged=True,
+            group="fieldwise",
+        )
+    )
+    builder = BatchBuilder(layout, packet=0)
+    rows = [RNG.uniform(0, 1, RNG.integers(0, 30)) for _ in range(N_RECORDS)]
+    for row in rows:
+        builder.append(tris=row)
+    batch = builder.build()
+    out = benchmark(roundtrip, batch, layout)
+    for r in (0, 17, N_RECORDS - 1):
+        assert np.array_equal(out.ragged_row("tris", r), rows[r])

@@ -1,0 +1,41 @@
+"""Shared helpers for the figure benchmarks.
+
+Each ``bench_figNN_*`` module reproduces one evaluation figure of the paper
+(see DESIGN.md's experiment index): it builds the figure's workload,
+benchmarks one threaded execution of each version's pipeline, and asserts
+the figure's shape checks.  ``pytest benchmarks/ --benchmark-only``
+regenerates every figure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import FigureResult
+
+
+def attach_figure_info(benchmark, figure: FigureResult) -> None:
+    """Record the figure's headline numbers in the benchmark JSON."""
+    benchmark.extra_info["figure"] = figure.figure
+    benchmark.extra_info["paper"] = figure.paper.description
+    benchmark.extra_info["improvement"] = round(figure.improvement(), 3)
+    benchmark.extra_info["speedup_w2"] = round(figure.speedup("2-2-1"), 3)
+    benchmark.extra_info["speedup_w4"] = round(figure.speedup("4-4-1"), 3)
+    for config, seconds in figure.results["Decomp-Comp"].times.items():
+        benchmark.extra_info[f"decomp_{config}"] = round(seconds, 5)
+    for config, seconds in figure.results["Default"].times.items():
+        benchmark.extra_info[f"default_{config}"] = round(seconds, 5)
+
+
+def assert_figure(figure: FigureResult) -> None:
+    report = figure.report()
+    print()
+    print(report)
+    assert figure.ok, f"shape checks failed:\n{report}"
+
+
+@pytest.fixture(scope="session")
+def quick_rounds():
+    """Rounds for pedantic full-pipeline benchmarks (they are seconds-long
+    end-to-end runs; statistical repetition adds little)."""
+    return dict(rounds=2, iterations=1, warmup_rounds=0)

@@ -1,0 +1,42 @@
+"""Pipeline-width scaling demo (paper §6.2-6.3).
+
+Reproduces one row of the evaluation interactively: measures the z-buffer
+application once per version, then simulates the paper's 1-1-1 / 2-2-1 /
+4-4-1 configurations (and a few wider, hypothetical ones) on the
+calibrated grid model.
+
+Run:  python examples/grid_scaling.py
+"""
+
+from repro.apps import make_zbuffer_app
+from repro.cost import cluster_config
+from repro.experiments import format_results, run_experiment
+
+
+def main():
+    app = make_zbuffer_app()
+    workload = app.make_workload(dataset="small", num_packets=16)
+    configs = {
+        "1-1-1": cluster_config(1),
+        "2-2-1": cluster_config(2),
+        "4-4-1": cluster_config(4),
+        "8-8-1": cluster_config(8),  # beyond the paper: where does it stop?
+    }
+    results = run_experiment(
+        app, workload, ["Default", "Decomp-Comp"], configs=configs
+    )
+    print(format_results("z-buffer, small dataset", results, list(configs)))
+
+    decomp = results["Decomp-Comp"]
+    base = decomp.times["1-1-1"]
+    print("\nDecomp speedups over 1-1-1:")
+    for name in configs:
+        print(f"  {name:>6}: {base / decomp.times[name]:.2f}x")
+    print(
+        "\npaper: 1.92x at width 2, 3.34x at width 4 (Fig 5); the width-1 "
+        "view stage and the final-image drain eventually cap scaling."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Isosurface rendering demo (paper §3, Figure 1, §6.3).
+
+Compiles the z-buffer and active-pixels renderers from their dialect
+sources, runs both through the threaded pipeline, verifies the images are
+identical (the two algorithms compute the same picture), and reports how
+much stream traffic the sparse representation saves — the §6.3 story.
+
+Run:  python examples/isosurface_rendering.py
+"""
+
+import numpy as np
+
+from repro.apps import make_active_pixels_app, make_zbuffer_app
+from repro.cost import cluster_config
+from repro.datacutter import run_pipeline
+from repro.experiments.harness import _specs_for_version
+
+
+def render(app, workload, version="Decomp-Comp"):
+    specs, result = _specs_for_version(
+        app, workload, version, cluster_config(1)
+    )
+    run = run_pipeline(specs)
+    image = run.payloads[-1]["result"].image()
+    return image, run, result
+
+
+def main():
+    width = height = 96
+    zapp = make_zbuffer_app(width, height)
+    aapp = make_active_pixels_app(width, height)
+    zwl = zapp.make_workload(dataset="small", num_packets=8)
+    awl = aapp.make_workload(dataset="small", num_packets=8)
+
+    print(
+        f"dataset: {int(zwl.profile['packet_size'] * 8)} cubes, "
+        f"isosurface selectivity {zwl.profile['sel.g0']:.1%}, "
+        f"{zwl.profile['scale.tris']:.2f} triangles per accepted cube"
+    )
+
+    z_img, z_run, z_result = render(zapp, zwl)
+    a_img, a_run, a_result = render(aapp, awl)
+
+    print(f"\nz-buffer plan:      {z_result.plan}")
+    print(f"active-pixels plan: {a_result.plan}")
+
+    assert np.array_equal(z_img, a_img), "the two algorithms must agree"
+    covered = int((z_img > 0).sum())
+    print(f"\nimages identical: {covered} covered pixels of {width * height}")
+
+    z_bytes = sum(z_run.stream_bytes.values())
+    a_bytes = sum(a_run.stream_bytes.values())
+    print(f"z-buffer stream traffic:      {z_bytes:>12,} bytes")
+    print(f"active-pixels stream traffic: {a_bytes:>12,} bytes")
+    print(
+        f"sparse representation saves {1 - a_bytes / z_bytes:.0%} — "
+        "'avoids allocating, initializing, or communicating a full "
+        "z-buffer' (§6.3)"
+    )
+
+    # render an ASCII thumbnail of the isosurface
+    thumb = z_img[:: height // 24, :: width // 48]
+    ramp = " .:-=+*#%@"
+    print("\nisosurface (ASCII):")
+    for row in thumb:
+        line = "".join(ramp[min(int(v * (len(ramp) - 1)), len(ramp) - 1)] for v in row)
+        print("   " + line)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""Reproduce every evaluation figure of the paper in one run.
+
+Runs Figures 5-12 through the experiment harness (measured computation,
+calibrated simulated grid — see EXPERIMENTS.md), prints each figure's
+table with its paper-vs-measured summary and shape checks, and exits
+non-zero if any shape check fails.
+
+Run:  python examples/reproduce_paper.py            # all figures (~2-4 min)
+      python examples/reproduce_paper.py fig5 fig9  # a subset
+"""
+
+import sys
+
+from repro.experiments.figures import ALL_FIGURES
+
+
+def main(argv):
+    wanted = argv or list(ALL_FIGURES)
+    unknown = [w for w in wanted if w not in ALL_FIGURES]
+    if unknown:
+        raise SystemExit(
+            f"unknown figure(s) {unknown}; choose from {sorted(ALL_FIGURES)}"
+        )
+    all_ok = True
+    for name in wanted:
+        figure = ALL_FIGURES[name]()
+        print(figure.report())
+        print()
+        all_ok = all_ok and figure.ok
+    if not all_ok:
+        raise SystemExit("some shape checks FAILED — see reports above")
+    print(f"all {len(wanted)} figure(s) reproduced with passing shape checks")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

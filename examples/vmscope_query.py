@@ -1,0 +1,61 @@
+"""Virtual microscope demo (paper §6.5).
+
+Serves small and large queries over a synthetic tiled slide, comparing the
+compiler-generated pipeline against the hand-vectorized manual filters —
+including the §6.5 observation that the generated code (conditional
+selection) trails the manual code (strided reads), and that the small
+query suffers load imbalance.
+
+Run:  python examples/vmscope_query.py
+"""
+
+import time
+
+from repro.apps import make_vmscope_app
+from repro.cost import cluster_config
+from repro.datacutter import run_pipeline
+from repro.experiments.harness import _specs_for_version
+
+
+def timed_run(app, workload, version):
+    specs, _result = _specs_for_version(
+        app, workload, version, cluster_config(1)
+    )
+    run_pipeline(specs)  # warm-up
+    t0 = time.perf_counter()
+    run = run_pipeline(specs)
+    elapsed = time.perf_counter() - t0
+    image = run.payloads[-1]["result"].image()
+    return image, elapsed, run
+
+
+def main():
+    app = make_vmscope_app(image_w=768, image_h=768, tile=64)
+    for query in ("small", "large"):
+        workload = app.make_workload(query=query, num_packets=10)
+        sel = workload.profile["sel.g0"]
+        print(
+            f"--- {query} query: {workload.params['qx1'] - workload.params['qx0']}px"
+            f" window, subsample {workload.params['subsamp']},"
+            f" {sel:.0%} of tiles intersect ---"
+        )
+        images = {}
+        for version in ("Decomp-Comp", "Decomp-Manual"):
+            image, elapsed, run = timed_run(app, workload, version)
+            images[version] = image
+            print(
+                f"{version:<14} {elapsed * 1e3:8.1f} ms   "
+                f"output {image.shape[1]}x{image.shape[0]}   "
+                f"stream bytes {sum(run.stream_bytes.values()):,}"
+            )
+        assert (images["Decomp-Comp"] == images["Decomp-Manual"]).all()
+        ratio = None
+        print(
+            "images identical; the compiled version's conditional-mask "
+            "selection does more work per tile than the manual strided "
+            "reads (§6.5)\n"
+        )
+
+
+if __name__ == "__main__":
+    main()

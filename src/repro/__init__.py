@@ -1,0 +1,57 @@
+"""repro — reproduction of *Compiler Support for Exploiting Coarse-Grained
+Pipelined Parallelism* (Du, Ferreira, Agrawal — SC 2003).
+
+A compilation system for data-driven applications written in a Java-like
+dialect exposing pipelined and data parallelism.  The compiler selects
+candidate filter boundaries, determines required communication with a
+one-pass analysis, prices decompositions with a pipeline cost model, picks
+the optimal decomposition by dynamic programming, and generates filter code
+for a DataCutter-style filter-stream runtime.
+
+Quick start::
+
+    from repro import CompileOptions, compile_source, cluster_config
+    from repro.analysis import WorkloadProfile
+
+    options = CompileOptions(env=cluster_config(1),
+                             profile=WorkloadProfile({"num_packets": 10,
+                                                      "packet_size": 1000}))
+    result = compile_source(APP_SOURCE, registry, options)
+    print(result.report())
+
+Subpackages: :mod:`repro.lang` (dialect frontend), :mod:`repro.analysis`
+(§4 analyses), :mod:`repro.cost` (§4.3 model), :mod:`repro.decompose`
+(§4.4 DP), :mod:`repro.codegen` (§5), :mod:`repro.datacutter` (runtime
+substrate), :mod:`repro.apps` (the four evaluation applications),
+:mod:`repro.experiments` (the §6 harness).
+"""
+
+from .analysis.workload import WorkloadProfile
+from .core.compiler import (
+    CompilationResult,
+    CompileOptions,
+    analyze_source,
+    compile_source,
+    default_plan,
+)
+from .cost.environment import PAPER_CONFIGS, cluster_config, make_pipeline
+from .lang import Intrinsic, IntrinsicRegistry, OpCount, parse
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompilationResult",
+    "CompileOptions",
+    "Intrinsic",
+    "IntrinsicRegistry",
+    "OpCount",
+    "PAPER_CONFIGS",
+    "WorkloadProfile",
+    "analyze_source",
+    "cluster_config",
+    "compile_source",
+    "default_plan",
+    "make_pipeline",
+    "parse",
+    "__version__",
+]

@@ -1,0 +1,127 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``compile FILE`` — run the full compiler on a dialect source file and
+  print the compilation report (atoms, per-boundary volumes, the chosen
+  plan); ``--emit`` also prints the generated Python filter sources.
+* ``figures [NAMES...]`` — reproduce the paper's evaluation figures
+  (default: all of fig5..fig12) and print paper-vs-measured reports.
+* ``apps`` — list the bundled evaluation applications.
+
+Intrinsic implementations cannot be supplied from the command line, so
+``compile`` analyzes and decomposes with conservative summaries; use the
+Python API (:func:`repro.compile_source`) for executable pipelines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    from .analysis.workload import WorkloadProfile
+    from .core.compiler import CompileOptions, compile_source
+    from .cost.environment import cluster_config
+
+    source = open(args.file).read()
+    profile_params: dict[str, float] = {}
+    for item in args.param or []:
+        name, _, value = item.partition("=")
+        profile_params[name] = float(value)
+    options = CompileOptions(
+        env=cluster_config(args.width),
+        profile=WorkloadProfile(profile_params),
+        objective=args.objective,
+    )
+    result = compile_source(source, None, options)
+    print(result.report())
+    if args.emit:
+        for gf in result.pipeline.filters:
+            print(f"\n# ===== unit C_{gf.unit} ({gf.name}) =====")
+            print(gf.source)
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from .experiments.figures import ALL_FIGURES
+
+    names = args.names or list(ALL_FIGURES)
+    bad = [n for n in names if n not in ALL_FIGURES]
+    if bad:
+        print(f"unknown figures {bad}; choose from {sorted(ALL_FIGURES)}")
+        return 2
+    ok = True
+    for name in names:
+        figure = ALL_FIGURES[name]()
+        print(figure.report())
+        print()
+        ok = ok and figure.ok
+    return 0 if ok else 1
+
+
+def _cmd_apps(_args: argparse.Namespace) -> int:
+    from .apps import (
+        make_active_pixels_app,
+        make_knn_app,
+        make_vmscope_app,
+        make_zbuffer_app,
+    )
+
+    for factory in (
+        make_zbuffer_app,
+        make_active_pixels_app,
+        make_knn_app,
+        make_vmscope_app,
+    ):
+        app = factory()
+        print(f"{app.name:<20} {app.notes}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Coarse-grained pipelined-parallelism compiler (SC 2003 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_compile = sub.add_parser("compile", help="compile a dialect source file")
+    p_compile.add_argument("file", help="dialect source file")
+    p_compile.add_argument(
+        "--width", type=int, default=1, help="pipeline width (w-w-1 config)"
+    )
+    p_compile.add_argument(
+        "--objective",
+        choices=["fill", "total", "brute"],
+        default="total",
+        help="decomposition objective (fill = published Fig 3)",
+    )
+    p_compile.add_argument(
+        "--param",
+        action="append",
+        metavar="NAME=VALUE",
+        help="workload profile parameter (repeatable)",
+    )
+    p_compile.add_argument(
+        "--emit", action="store_true", help="print generated filter sources"
+    )
+    p_compile.set_defaults(fn=_cmd_compile)
+
+    p_fig = sub.add_parser("figures", help="reproduce evaluation figures")
+    p_fig.add_argument("names", nargs="*", help="fig5 .. fig12 (default all)")
+    p_fig.set_defaults(fn=_cmd_figures)
+
+    p_apps = sub.add_parser("apps", help="list bundled applications")
+    p_apps.set_defaults(fn=_cmd_apps)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,168 @@
+"""The candidate filter boundary graph (paper §4.1).
+
+    "The nodes in this graph are the candidate filter boundaries, with the
+    exception of a start node that pre-dominates all other nodes, and an
+    end node that post-dominates all other nodes.  An edge in this graph
+    connects two candidate filter boundaries that are adjacent ... the
+    candidate filter boundary graph is always acyclic.  A flow path in this
+    graph is defined to be any path from the start node to the end node."
+
+For the programs our frontend accepts the graph degenerates to a chain
+(packet-level conditionals are kept inside a single atomic filter), but the
+data structure is general: decomposition and its tests exercise branching
+graphs directly, and :func:`chain_from_filter_chain` produces the chain for
+a compiled program.
+
+Nodes carry the *code segment* between boundaries implicitly: edge
+``u -> v`` is labelled with the atomic filter that executes between the two
+boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterator
+
+from .boundaries import AtomicFilter, FilterChain
+
+
+@dataclass(slots=True)
+class BoundaryNode:
+    """A candidate boundary, or the distinguished start/end node."""
+
+    key: Hashable
+    is_start: bool = False
+    is_end: bool = False
+    label: str = ""
+
+    def __repr__(self) -> str:
+        if self.is_start:
+            return "<start>"
+        if self.is_end:
+            return "<end>"
+        return f"<boundary {self.key}>"
+
+
+@dataclass(slots=True)
+class BoundaryEdge:
+    """Adjacency between consecutive boundaries; carries the code segment
+    (an atomic filter) that control flows through."""
+
+    src: Hashable
+    dst: Hashable
+    segment: AtomicFilter | None = None
+
+
+class CandidateBoundaryGraph:
+    """Acyclic graph of candidate filter boundaries."""
+
+    def __init__(self) -> None:
+        self._nodes: dict[Hashable, BoundaryNode] = {}
+        self._succ: dict[Hashable, list[BoundaryEdge]] = {}
+        self._pred: dict[Hashable, list[BoundaryEdge]] = {}
+        self.start_key: Hashable = "__start__"
+        self.end_key: Hashable = "__end__"
+        self.add_node(BoundaryNode(self.start_key, is_start=True))
+        self.add_node(BoundaryNode(self.end_key, is_end=True))
+
+    # -- construction --------------------------------------------------------
+    def add_node(self, node: BoundaryNode) -> BoundaryNode:
+        if node.key in self._nodes:
+            raise ValueError(f"duplicate boundary node {node.key!r}")
+        self._nodes[node.key] = node
+        self._succ[node.key] = []
+        self._pred[node.key] = []
+        return node
+
+    def add_boundary(self, key: Hashable, label: str = "") -> BoundaryNode:
+        return self.add_node(BoundaryNode(key, label=label))
+
+    def add_edge(
+        self, src: Hashable, dst: Hashable, segment: AtomicFilter | None = None
+    ) -> BoundaryEdge:
+        if src not in self._nodes or dst not in self._nodes:
+            raise KeyError("both endpoints must be added before the edge")
+        edge = BoundaryEdge(src, dst, segment)
+        self._succ[src].append(edge)
+        self._pred[dst].append(edge)
+        return edge
+
+    # -- queries ---------------------------------------------------------------
+    def node(self, key: Hashable) -> BoundaryNode:
+        return self._nodes[key]
+
+    def nodes(self) -> list[BoundaryNode]:
+        return list(self._nodes.values())
+
+    def successors(self, key: Hashable) -> list[BoundaryEdge]:
+        return list(self._succ[key])
+
+    def predecessors(self, key: Hashable) -> list[BoundaryEdge]:
+        return list(self._pred[key])
+
+    def is_acyclic(self) -> bool:
+        """Kahn's algorithm; the paper guarantees acyclicity by construction
+        (loop fission + whole-filter inner loops), we verify it."""
+        indeg = {k: len(self._pred[k]) for k in self._nodes}
+        queue = [k for k, d in indeg.items() if d == 0]
+        seen = 0
+        while queue:
+            k = queue.pop()
+            seen += 1
+            for edge in self._succ[k]:
+                indeg[edge.dst] -= 1
+                if indeg[edge.dst] == 0:
+                    queue.append(edge.dst)
+        return seen == len(self._nodes)
+
+    def topological_order(self) -> list[Hashable]:
+        indeg = {k: len(self._pred[k]) for k in self._nodes}
+        queue = [k for k, d in indeg.items() if d == 0]
+        order: list[Hashable] = []
+        while queue:
+            queue.sort(key=repr)  # deterministic
+            k = queue.pop(0)
+            order.append(k)
+            for edge in self._succ[k]:
+                indeg[edge.dst] -= 1
+                if indeg[edge.dst] == 0:
+                    queue.append(edge.dst)
+        if len(order) != len(self._nodes):
+            raise ValueError("boundary graph has a cycle")
+        return order
+
+    def flow_paths(self, limit: int = 10_000) -> Iterator[list[BoundaryEdge]]:
+        """Enumerate flow paths (start -> end) as edge lists.
+
+        ``limit`` bounds the enumeration; branching graphs can be
+        exponential, chains have exactly one path.
+        """
+        count = 0
+        stack: list[tuple[Hashable, list[BoundaryEdge]]] = [(self.start_key, [])]
+        while stack:
+            key, path = stack.pop()
+            if key == self.end_key:
+                count += 1
+                if count > limit:
+                    raise ValueError(f"more than {limit} flow paths")
+                yield path
+                continue
+            for edge in reversed(self._succ[key]):
+                stack.append((edge.dst, path + [edge]))
+
+    def segments_on_path(self, path: list[BoundaryEdge]) -> list[AtomicFilter]:
+        return [edge.segment for edge in path if edge.segment is not None]
+
+
+def chain_from_filter_chain(chain: FilterChain) -> CandidateBoundaryGraph:
+    """Build the (linear) boundary graph for a compiled program's chain:
+    start -> b_1 -> ... -> b_n -> end with atoms f_1..f_{n+1} on the edges."""
+    graph = CandidateBoundaryGraph()
+    keys: list[Hashable] = [graph.start_key]
+    for boundary in chain.boundaries:
+        graph.add_boundary(boundary.index, label=boundary.label)
+        keys.append(boundary.index)
+    keys.append(graph.end_key)
+    for i, atom in enumerate(chain.atoms):
+        graph.add_edge(keys[i], keys[i + 1], segment=atom)
+    return graph

@@ -1,0 +1,161 @@
+"""Loop fission for foreach loops (paper §4.1).
+
+    "If there are candidate filter boundaries within a foreach loop, we
+    perform loop fission and create separate foreach loops. This ensures
+    that there are no candidate boundaries inside a foreach loop."
+
+A ``foreach`` body is split into a sequence of **element stages**.  Each
+stage holds straight-line per-element statements; stage boundaries fall
+
+* around statements that contain a function/method call (the paper's
+  "start and end of a function call within a foreach loop"), and
+* at a trailing ``if`` with no else-branch that wraps the remainder of the
+  body — the conditional becomes a **guard**: elements failing it are
+  dropped from the stream, which is precisely how the compiler-decomposed
+  isosurface versions push the cube-rejection test to the data nodes (§6.3).
+
+An ``if`` that has an else-branch, or that is followed by more statements,
+cannot filter the stream; it stays inside a single stage as an opaque
+statement.  Values defined in one stage and read in a later one become
+fields of the inter-stage record (scalar expansion is implicit in the
+record-stream model of §5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..lang import ast
+from ..lang.types import VarSymbol
+
+
+def _contains_call(stmt: ast.Stmt) -> bool:
+    return any(
+        isinstance(e, (ast.Call, ast.MethodCall)) for e in ast.walk_exprs(stmt)
+    )
+
+
+@dataclass(slots=True)
+class ElementStage:
+    """One fission fragment of a foreach body.
+
+    ``guard`` (if present) is evaluated first; elements failing it produce
+    no output record and no further work in this or later stages.
+    ``guard_param`` names the workload-profile selectivity of the guard.
+    """
+
+    stmts: list[ast.Stmt] = field(default_factory=list)
+    guard: ast.Expr | None = None
+    guard_param: str | None = None
+
+    def is_empty(self) -> bool:
+        return not self.stmts and self.guard is None
+
+
+@dataclass(slots=True)
+class FissionedForeach:
+    """A foreach split into stages, all iterating the same element stream."""
+
+    loop: ast.Foreach
+    elem_var: VarSymbol
+    stages: list[ElementStage]
+    #: symbols declared per-element anywhere in the original body
+    local_roots: set[VarSymbol] = field(default_factory=set)
+
+
+def _split_straightline(
+    stmts: list[ast.Stmt], stages: list[ElementStage], guard_counter: list[int]
+) -> None:
+    """Append stages for a statement sequence (recursive over guard ifs)."""
+    current = ElementStage()
+
+    def flush() -> None:
+        nonlocal current
+        if not current.is_empty():
+            stages.append(current)
+        current = ElementStage()
+
+    for i, stmt in enumerate(stmts):
+        is_guard_if = (
+            isinstance(stmt, ast.If)
+            and stmt.other is None
+            and i == len(stmts) - 1
+        )
+        if is_guard_if:
+            flush()
+            assert isinstance(stmt, ast.If)
+            idx = guard_counter[0]
+            guard_counter[0] += 1
+            guard_stage = ElementStage(
+                guard=stmt.cond, guard_param=f"sel.g{idx}"
+            )
+            stages.append(guard_stage)
+            _split_straightline(stmt.then.body, stages, guard_counter)
+        elif _contains_call(stmt):
+            # call boundaries: the statement is its own stage
+            flush()
+            stages.append(ElementStage(stmts=[stmt]))
+        else:
+            current.stmts.append(stmt)
+    flush()
+
+
+def fission_foreach(loop: ast.Foreach) -> FissionedForeach:
+    """Split one foreach into element stages.
+
+    The loop variable symbol must already be resolved (run the typechecker
+    first).  The returned stages preserve source order; concatenating their
+    statements under the original guards reproduces the original body.
+    """
+    assert loop.var_symbol is not None, "typecheck before fission"
+    stages: list[ElementStage] = []
+    _split_straightline(list(loop.body.body), stages, [0])
+    if not stages:
+        stages = [ElementStage()]
+    local_roots: set[VarSymbol] = set()
+    for stmt in ast.walk_stmts(loop.body):
+        if isinstance(stmt, ast.VarDecl) and stmt.symbol is not None:
+            local_roots.add(stmt.symbol)  # type: ignore[arg-type]
+    return FissionedForeach(
+        loop=loop,
+        elem_var=loop.var_symbol,  # type: ignore[arg-type]
+        stages=stages,
+        local_roots=local_roots,
+    )
+
+
+def rebuild_foreach_ast(fissioned: FissionedForeach) -> list[ast.Foreach]:
+    """Materialize the fission as a list of foreach AST nodes (one per
+    stage) for display and for tests that check semantic preservation.
+
+    Guards are re-applied: a stage after a guard is wrapped in the
+    conjunction of all guards seen so far, so each rebuilt loop is an
+    independently correct traversal of the *original* domain.
+    """
+    loops: list[ast.Foreach] = []
+    active_guards: list[ast.Expr] = []
+    for stage in fissioned.stages:
+        if stage.guard is not None:
+            active_guards = active_guards + [stage.guard]
+            continue
+        body: list[ast.Stmt] = list(stage.stmts)
+        for guard in reversed(active_guards):
+            body = [
+                ast.If(
+                    cond=guard,
+                    then=ast.Block(body=body, span=fissioned.loop.span),
+                    other=None,
+                    span=fissioned.loop.span,
+                )
+            ]
+        loops.append(
+            ast.Foreach(
+                var=fissioned.loop.var,
+                domain=fissioned.loop.domain,
+                body=ast.Block(body=body, span=fissioned.loop.span),
+                span=fissioned.loop.span,
+                var_symbol=fissioned.elem_var,
+                fission_of=fissioned.loop.var,
+            )
+        )
+    return loops

@@ -1,0 +1,220 @@
+"""Interprocedural communication analysis (paper §4.2).
+
+    "our analysis is applied interprocedurally.  The main issue in doing
+    this is changing variable names from actual parameters to formal
+    parameters and vice-versa.  Note that we perform context-sensitive
+    analysis, i.e., a procedure included in multiple code segments is
+    analyzed independently each time."
+
+Two call kinds:
+
+* **dialect methods** — the callee body is analyzed with the caller's
+  :class:`~repro.analysis.gencons.GenConsAnalyzer`, then every resulting
+  path is *renamed*: formal parameter roots become the actual-argument
+  paths, unqualified field roots become ``receiver.field`` paths, and
+  symbolic section bounds mentioning formals are substituted by the
+  actual-argument index expressions.  Analysis happens afresh at every call
+  site (context sensitivity by re-analysis); recursion deeper than the
+  analyzer's ``max_call_depth`` degrades to the conservative summary.
+
+* **intrinsics** — the declared summary's ``reads``/``writes`` path strings
+  (rooted at formal parameter names) are renamed the same way.
+"""
+
+from __future__ import annotations
+
+from ..lang import ast
+from ..lang.errors import AnalysisError
+from ..lang.intrinsics import Intrinsic
+from ..lang.typecheck import MethodSig, NativeSig
+from ..lang.types import VarSymbol
+from .values import AccessPath, ElemSel, FieldSel, Section, SymExpr
+
+
+def effects_of_call(analyzer, call: ast.Expr):
+    """(gen paths, cons paths) for one call, in the caller's namespace.
+
+    ``analyzer`` is the calling :class:`GenConsAnalyzer`; we reuse its path
+    and symbolic-expression builders so renaming stays consistent.
+    """
+    if isinstance(call, ast.MethodCall):
+        if call.target_kind == "domain_size":
+            path = analyzer._path(call.obj)
+            return [], ([path] if path is not None else [])
+        sig = call.target
+        assert isinstance(sig, MethodSig), "typecheck before analysis"
+        receiver = analyzer._path(call.obj)
+        return _dialect_method_effects(analyzer, sig, call.args, receiver)
+    if isinstance(call, ast.Call):
+        target = call.target
+        if call.target_kind == "intrinsic":
+            assert isinstance(target, NativeSig)
+            return _intrinsic_effects(analyzer, target, call.args)
+        if call.target_kind == "method":
+            assert isinstance(target, MethodSig)
+            return _dialect_method_effects(analyzer, target, call.args, None)
+    raise AnalysisError(f"unresolved call {call!r}", getattr(call, "span", None))
+
+
+# ---------------------------------------------------------------------------
+# Intrinsic summaries
+# ---------------------------------------------------------------------------
+
+
+def _intrinsic_effects(analyzer, sig: NativeSig, args: list[ast.Expr]):
+    """Apply the declared summary.  Without a registered implementation we
+    fall back to the sound default: every argument may be read, nothing is
+    definitely written."""
+    intr: Intrinsic | None = sig.intrinsic
+    param_names = [p.name for p in sig.decl.params]
+    arg_paths = {
+        name: analyzer._path(arg) for name, arg in zip(param_names, args)
+    }
+    if intr is None:
+        cons = [p for p in arg_paths.values() if p is not None]
+        return [], cons
+    gens: list[AccessPath] = []
+    cons: list[AccessPath] = []
+    for spec in intr.reads:
+        path = _summary_path(spec, arg_paths)
+        if path is not None:
+            cons.append(path)
+    for spec in intr.writes:
+        if spec == "return":
+            continue  # the enclosing assignment models the returned value
+        path = _summary_path(spec, arg_paths)
+        if path is not None:
+            gens.append(path)
+    return gens, cons
+
+
+def _summary_path(
+    spec: str, arg_paths: dict[str, AccessPath | None]
+) -> AccessPath | None:
+    """Resolve a summary path string like ``"cube.corners"`` or ``"pts[*]"``
+    against the actual-argument paths."""
+    parts = spec.replace("[*]", ".__ALL__").split(".")
+    root_name, rest = parts[0], parts[1:]
+    base = arg_paths.get(root_name)
+    if base is None:
+        return None
+    path = base
+    for part in rest:
+        if part == "__ALL__":
+            path = path.elem(Section.full())
+        else:
+            path = path.field(part)
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Dialect methods (context-sensitive re-analysis)
+# ---------------------------------------------------------------------------
+
+
+def _dialect_method_effects(
+    analyzer,
+    sig: MethodSig,
+    args: list[ast.Expr],
+    receiver: AccessPath | None,
+):
+    from .gencons import symbol_tag  # local import: module cycle
+
+    key = f"{sig.owner}.{sig.name}"
+    owner_type = analyzer.checked.classes.get(sig.owner)
+    if owner_type is not None and owner_type.is_reduction:
+        # Reduction-class methods are the §3 update operations: by the
+        # Reducinterface contract they consume their arguments and fold
+        # them into the receiver, regardless of how the (possibly stub)
+        # body reads — runtime classes may replace it entirely.
+        cons = [analyzer._path(a) for a in args]
+        cons = [c for c in cons if c is not None]
+        if receiver is not None:
+            cons.append(receiver)
+        return [], cons
+    if (
+        key in analyzer._call_stack
+        or len(analyzer._call_stack) >= analyzer.max_call_depth
+    ):
+        # recursion / depth limit: conservative — may read everything
+        # reachable from the arguments and receiver, no definite writes
+        cons = [analyzer._path(a) for a in args]
+        cons = [c for c in cons if c is not None]
+        if receiver is not None:
+            cons.append(receiver)
+        return [], cons
+
+    analyzer._call_stack.append(key)
+    try:
+        body_facts = analyzer.analyze(list(sig.decl.body.body))
+    finally:
+        analyzer._call_stack.pop()
+
+    # Build the renaming: formal root symbol -> actual path; formal scalar
+    # tag -> actual index expression (for symbolic section bounds).
+    root_map: dict[int, AccessPath] = {}
+    expr_map: dict[str, SymExpr] = {}
+    for param, arg in zip(sig.decl.params, args):
+        psym = param.symbol
+        if not isinstance(psym, VarSymbol):
+            continue
+        apath = analyzer._path(arg)
+        if apath is not None:
+            root_map[id(psym)] = apath
+        aexpr = analyzer._sym_expr(arg)
+        if aexpr is not None:
+            expr_map[symbol_tag(psym)] = aexpr
+
+    def rename(path: AccessPath, must: bool) -> AccessPath | None:
+        root = path.root
+        selectors = tuple(
+            ElemSel(_substitute_section(sel.section, expr_map))
+            if isinstance(sel, ElemSel)
+            else sel
+            for sel in path.selectors
+        )
+        if root.kind == "field":
+            if receiver is None:
+                raise AnalysisError(
+                    f"method '{key}' touches field '{root.name}' but is "
+                    "called without a receiver",
+                    sig.decl.span,
+                )
+            return AccessPath(
+                receiver.root,
+                receiver.selectors + (FieldSel(root.name),) + selectors,
+                path.type,
+            )
+        if root.kind == "param":
+            actual = root_map.get(id(root))
+            if actual is None:
+                return None  # literal/expression actual: no caller location
+            return AccessPath(
+                actual.root, actual.selectors + selectors, path.type
+            )
+        # callee locals die at return
+        return None
+
+    gens: list[AccessPath] = []
+    cons: list[AccessPath] = []
+    for g in body_facts.gen:
+        renamed = rename(g, must=True)
+        if renamed is not None:
+            gens.append(renamed)
+    for c in body_facts.cons:
+        renamed = rename(c, must=False)
+        if renamed is not None:
+            cons.append(renamed)
+    return gens, cons
+
+
+def _substitute_section(section: Section, expr_map: dict[str, SymExpr]) -> Section:
+    if section.kind != "rect" or not expr_map:
+        return section
+    from .values import Interval
+
+    intervals = tuple(
+        Interval(iv.lo.substitute(expr_map), iv.hi.substitute(expr_map))
+        for iv in section.intervals
+    )
+    return Section.rect(*intervals)

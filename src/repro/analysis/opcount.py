@@ -1,0 +1,211 @@
+"""Operation counting for the cost model (paper §4.3).
+
+    "Computation time is determined using the number of floating point and
+    integer operations in the code and the processing power available at
+    each computing unit."
+
+:class:`OpCounter` walks an atomic filter's statements and tallies
+floating-point ops, integer ops, and branches into an
+:class:`~repro.lang.intrinsics.OpCount`:
+
+* arithmetic on ``float``/``double`` operands counts as a flop, on integral
+  operands as an iop; comparisons and logical connectives count as branches;
+* every array index contributes an address iop;
+* intrinsic calls contribute their declared cost model;
+* dialect method calls are counted by recursing into the callee body
+  (bounded depth);
+* counted ``for`` loops multiply their body by the trip count evaluated
+  under the workload profile; unrecognized loops use the
+  ``loop.default_trip`` profile parameter;
+* an *element* atom's per-record count is scaled by its stream cardinality
+  (packet size times upstream guard selectivities); *packet* atoms count
+  once per packet.
+"""
+
+from __future__ import annotations
+
+from ..lang import ast
+from ..lang.intrinsics import OpCount
+from ..lang.typecheck import CheckedProgram, MethodSig, NativeSig
+from ..lang.types import PrimType
+from .boundaries import AtomicFilter
+from .gencons import GenConsAnalyzer
+from .values import SymExpr
+from .workload import WorkloadProfile
+
+_FLOAT_NAMES = ("float", "double")
+
+
+def _is_float(t: object) -> bool:
+    return isinstance(t, PrimType) and t.name in _FLOAT_NAMES
+
+
+class OpCounter:
+    """Counts weighted operations per packet for atomic filters.
+
+    ``method_costs`` maps ``'Class.method'`` to a cost model (profile ->
+    OpCount), overriding body counting — used for reduction-class methods
+    whose dialect bodies are stubs backed by native runtime classes (the
+    same summary mechanism intrinsics use)."""
+
+    def __init__(
+        self,
+        checked: CheckedProgram,
+        max_call_depth: int = 12,
+        method_costs: dict[str, object] | None = None,
+    ) -> None:
+        self.checked = checked
+        self.max_call_depth = max_call_depth
+        self.method_costs = method_costs or {}
+        self._stack: list[str] = []
+        # reuse the counted-loop recognizer from the Gen/Cons engine
+        self._gc = GenConsAnalyzer(checked)
+
+    # ------------------------------------------------------------------ api
+    def atom_ops(
+        self, atom: AtomicFilter, profile: WorkloadProfile
+    ) -> OpCount:
+        """Total operations this atom performs per packet."""
+        per_visit = OpCount()
+        for stmt in atom.stmts:
+            per_visit = per_visit + self.stmt_ops(stmt, profile)
+        if atom.guard is not None:
+            per_visit = per_visit + self.expr_ops(atom.guard, profile)
+            per_visit = per_visit + OpCount(branches=1)
+        if atom.kind == "element":
+            card = profile.packet_size
+            for param in atom.applied_guards:
+                card *= profile.get(param)
+            return per_visit.scaled(card)
+        return per_visit
+
+    # ----------------------------------------------------------- statements
+    def stmt_ops(self, stmt: ast.Stmt, profile: WorkloadProfile) -> OpCount:
+        if isinstance(stmt, ast.Block):
+            total = OpCount()
+            for inner in stmt.body:
+                total = total + self.stmt_ops(inner, profile)
+            return total
+        if isinstance(stmt, ast.VarDecl):
+            if stmt.init is not None:
+                return self.expr_ops(stmt.init, profile)
+            return OpCount()
+        if isinstance(stmt, ast.Assign):
+            ops = self.expr_ops(stmt.value, profile) + self._lvalue_ops(
+                stmt.target, profile
+            )
+            if stmt.op:  # compound assignment performs the binary op
+                if _is_float(stmt.target.type):
+                    ops = ops + OpCount(flops=1)
+                else:
+                    ops = ops + OpCount(iops=1)
+            return ops
+        if isinstance(stmt, ast.ExprStmt):
+            return self.expr_ops(stmt.expr, profile)
+        if isinstance(stmt, ast.If):
+            ops = self.expr_ops(stmt.cond, profile) + OpCount(branches=1)
+            then_ops = self.stmt_ops(stmt.then, profile)
+            else_ops = (
+                self.stmt_ops(stmt.other, profile)
+                if stmt.other is not None
+                else OpCount()
+            )
+            # expected cost: average of the two arms (no branch profile)
+            avg = OpCount(
+                flops=(then_ops.flops + else_ops.flops) / 2,
+                iops=(then_ops.iops + else_ops.iops) / 2,
+                branches=(then_ops.branches + else_ops.branches) / 2,
+            )
+            return ops + avg
+        if isinstance(stmt, ast.For):
+            return self._for_ops(stmt, profile)
+        if isinstance(stmt, ast.While):
+            trips = profile.get("loop.default_trip")
+            body = self.stmt_ops(stmt.body, profile)
+            cond = self.expr_ops(stmt.cond, profile) + OpCount(branches=1)
+            return (body + cond).scaled(trips)
+        if isinstance(stmt, ast.Foreach):
+            trips = profile.packet_size
+            body = self.stmt_ops(stmt.body, profile)
+            return body.scaled(trips) + OpCount(branches=trips)
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                return self.expr_ops(stmt.value, profile)
+            return OpCount()
+        if isinstance(stmt, (ast.Break, ast.Continue, ast.PipelinedLoop)):
+            return OpCount()
+        raise AssertionError(f"unhandled statement {type(stmt).__name__}")
+
+    def _for_ops(self, stmt: ast.For, profile: WorkloadProfile) -> OpCount:
+        info = self._gc._loop_index_info(stmt)
+        if info is not None:
+            _, lo, hi = info
+            trips = max(profile.evaluate(hi - lo), 0.0)
+        else:
+            trips = profile.get("loop.default_trip")
+        body = self.stmt_ops(stmt.body, profile)
+        per_iter = body + OpCount(iops=1, branches=1)  # index update + test
+        total = per_iter.scaled(trips)
+        if stmt.init is not None:
+            total = total + self.stmt_ops(stmt.init, profile)
+        return total
+
+    # ---------------------------------------------------------- expressions
+    def expr_ops(self, expr: ast.Expr, profile: WorkloadProfile) -> OpCount:
+        total = OpCount()
+        for node in ast.walk_exprs(expr):
+            if isinstance(node, ast.Binary):
+                if node.op in ("&&", "||", "==", "!=", "<", "<=", ">", ">="):
+                    total = total + OpCount(branches=1)
+                elif _is_float(node.type):
+                    total = total + OpCount(flops=1)
+                else:
+                    total = total + OpCount(iops=1)
+            elif isinstance(node, ast.Unary):
+                if node.op == "-":
+                    if _is_float(node.type):
+                        total = total + OpCount(flops=1)
+                    else:
+                        total = total + OpCount(iops=1)
+                else:
+                    total = total + OpCount(branches=1)
+            elif isinstance(node, ast.Index):
+                total = total + OpCount(iops=1)
+            elif isinstance(node, ast.Ternary):
+                total = total + OpCount(branches=1)
+            elif isinstance(node, (ast.Call, ast.MethodCall)):
+                total = total + self._call_ops(node, profile)
+        return total
+
+    def _lvalue_ops(self, expr: ast.Expr, profile: WorkloadProfile) -> OpCount:
+        total = OpCount()
+        node = expr
+        while isinstance(node, (ast.FieldAccess, ast.Index)):
+            if isinstance(node, ast.Index):
+                total = total + OpCount(iops=1) + self.expr_ops(node.index, profile)
+            node = node.obj
+        return total
+
+    def _call_ops(
+        self, call: ast.Call | ast.MethodCall, profile: WorkloadProfile
+    ) -> OpCount:
+        target = call.target
+        if isinstance(target, NativeSig):
+            if target.intrinsic is not None:
+                return target.intrinsic.cost(profile.as_mapping())
+            return OpCount()
+        if isinstance(target, MethodSig):
+            key = f"{target.owner}.{target.name}"
+            override = self.method_costs.get(key)
+            if override is not None:
+                return override(profile.as_mapping())  # type: ignore[operator]
+            if key in self._stack or len(self._stack) >= self.max_call_depth:
+                return OpCount()
+            self._stack.append(key)
+            try:
+                return self.stmt_ops(target.decl.body, profile)
+            finally:
+                self._stack.pop()
+        if getattr(call, "target_kind", "") == "domain_size":
+            return OpCount(iops=1)
+        return OpCount()

@@ -1,0 +1,63 @@
+"""Workload profiles: the numbers that turn symbolic analysis results into
+concrete cost-model inputs (paper §4.3).
+
+The paper's compiler needs, for a given execution, the packet count, packet
+sizes, and the data-dependent scale factors (how many triangles per accepted
+cube, what fraction of cubes cross the isovalue, ...).  The paper does not
+spell out where these come from; as in most pipeline-partitioning systems
+they are workload knowledge supplied at compile time.  We make that input
+explicit and first-class so experiments can sweep it.
+
+Conventions for well-known parameter names:
+
+* ``num_packets``  — N in the cost model (§4.3),
+* ``packet_size``  — elements per packet in the pipelined domain,
+* ``elem_bytes.<Class>`` — packed bytes per element of a class (filled in by
+  codegen's layout when known),
+* application-specific selectivities, e.g. ``sel.accept`` (fraction of cubes
+  crossing the isovalue) or ``scale.triangles`` (triangles per accepted
+  cube).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from .values import SymExpr
+
+
+@dataclass(slots=True)
+class WorkloadProfile:
+    """Parameter valuation used to evaluate :class:`SymExpr` quantities."""
+
+    params: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for key in ("num_packets", "packet_size"):
+            self.params.setdefault(key, 1.0)
+
+    def __getitem__(self, name: str) -> float:
+        return self.params.get(name, 1.0)
+
+    def get(self, name: str, default: float = 1.0) -> float:
+        return self.params.get(name, default)
+
+    def with_params(self, **updates: float) -> "WorkloadProfile":
+        merged = dict(self.params)
+        merged.update(updates)
+        return WorkloadProfile(merged)
+
+    @property
+    def num_packets(self) -> int:
+        return int(self.params["num_packets"])
+
+    @property
+    def packet_size(self) -> float:
+        return self.params["packet_size"]
+
+    def evaluate(self, expr: SymExpr | int | float) -> float:
+        return SymExpr.coerce(expr).evaluate(self.params)
+
+    def as_mapping(self) -> Mapping[str, float]:
+        return dict(self.params)

@@ -1,0 +1,49 @@
+"""The four evaluation applications (paper §6.1): isosurface rendering
+(z-buffer and active pixels), k-nearest neighbours, and virtual
+microscope — each as dialect source + intrinsic kernels + runtime
+reduction classes + seeded synthetic workloads with sequential oracles."""
+
+from .common import AppBundle, Workload
+from .datasets import (
+    CubeDataset,
+    PointDataset,
+    TileDataset,
+    make_cube_dataset,
+    make_point_dataset,
+    make_tile_dataset,
+    scalar_field,
+)
+from .isosurface import make_active_pixels_app, make_zbuffer_app
+from .knn import knn_oracle, make_knn_app, make_knn_class, manual_knn_specs
+from .vmscope import (
+    QUERIES,
+    make_vimage_class,
+    make_vmscope_app,
+    manual_vmscope_specs,
+    subsample_tile_masked,
+    subsample_tile_strided,
+)
+
+__all__ = [
+    "AppBundle",
+    "CubeDataset",
+    "PointDataset",
+    "QUERIES",
+    "TileDataset",
+    "Workload",
+    "knn_oracle",
+    "make_active_pixels_app",
+    "make_cube_dataset",
+    "make_knn_app",
+    "make_knn_class",
+    "make_point_dataset",
+    "make_tile_dataset",
+    "make_vimage_class",
+    "make_vmscope_app",
+    "make_zbuffer_app",
+    "manual_knn_specs",
+    "manual_vmscope_specs",
+    "scalar_field",
+    "subsample_tile_masked",
+    "subsample_tile_strided",
+]

@@ -1,0 +1,59 @@
+"""Shared application scaffolding.
+
+An :class:`AppBundle` packages everything one evaluation application needs:
+the dialect source, the intrinsic registry (implementations + analysis
+summaries), runtime reduction classes, layout size hints, and a workload
+factory producing packets + parameters + a sequential oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..analysis.workload import WorkloadProfile
+from ..codegen.runtime_support import RawPacket
+from ..datacutter.filters import FilterSpec
+from ..lang.intrinsics import IntrinsicRegistry
+
+
+@dataclass(slots=True)
+class Workload:
+    """One concrete run: data, parameters, expected result."""
+
+    packets: list[RawPacket]
+    params: dict[str, Any]
+    profile: WorkloadProfile
+    #: sequential reference computation -> canonical result object
+    oracle: Callable[[], Any]
+    #: compare the pipeline's final payload against the oracle result
+    check: Callable[[dict[str, Any], Any], bool]
+    #: short label for reports
+    label: str = ""
+
+    @property
+    def num_packets(self) -> int:
+        return len(self.packets)
+
+    def input_bytes(self) -> int:
+        return sum(p.nbytes for p in self.packets)
+
+
+@dataclass(slots=True)
+class AppBundle:
+    """A complete evaluation application."""
+
+    name: str
+    source: str
+    registry: IntrinsicRegistry
+    runtime_classes: dict[str, type]
+    size_hints: dict[str, object]
+    make_workload: Callable[..., Workload]
+    #: hand-written DataCutter filters (Decomp-Manual, §6.4-6.5); None for
+    #: the isosurface apps, matching the paper ("we did not have access to
+    #: comparable manual versions")
+    manual_specs: Callable[[Workload, list[int]], list[FilterSpec]] | None = None
+    #: 'Class.method' -> (profile -> OpCount): cost summaries for methods
+    #: whose dialect bodies are stubs backed by runtime classes
+    method_costs: dict[str, Any] = field(default_factory=dict)
+    notes: str = ""

@@ -1,0 +1,249 @@
+"""Synthetic dataset generators for the four applications (paper §6).
+
+Substitutions for the paper's datasets (see DESIGN.md):
+
+* **isosurface** — the paper used ParSSim environmental-simulation grids
+  (150 MB / 600 MB per time-step).  We generate smooth 3-D scalar fields
+  (sums of seeded Gaussian blobs) so that the isosurface-crossing
+  selectivity is controllable and realistic: spatially coherent, not white
+  noise.
+* **knn** — the paper used 4.5 M random 3-D points (108 MB); we generate
+  seeded uniform points, scaled down.
+* **vmscope** — the paper used digitized microscope slides; we generate
+  tiled RGB images with smooth texture and serve rectangular queries with
+  a subsampling factor.
+
+All generators are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..codegen.runtime_support import RawPacket, ragged_from_rows
+
+
+# ---------------------------------------------------------------------------
+# 3-D scalar grids (isosurface)
+# ---------------------------------------------------------------------------
+
+
+def scalar_field(shape: tuple[int, int, int], seed: int, blobs: int = 6) -> np.ndarray:
+    """Smooth scalar field on a grid: a sum of random Gaussian blobs,
+    normalized to [0, 1]."""
+    rng = np.random.default_rng(seed)
+    nx, ny, nz = shape
+    x, y, z = np.meshgrid(
+        np.linspace(0, 1, nx), np.linspace(0, 1, ny), np.linspace(0, 1, nz),
+        indexing="ij",
+    )
+    field = np.zeros(shape)
+    for _ in range(blobs):
+        cx, cy, cz = rng.uniform(0.1, 0.9, 3)
+        sigma = rng.uniform(0.08, 0.25)
+        amp = rng.uniform(0.5, 1.0)
+        field += amp * np.exp(
+            -((x - cx) ** 2 + (y - cy) ** 2 + (z - cz) ** 2) / (2 * sigma**2)
+        )
+    field -= field.min()
+    peak = field.max()
+    if peak > 0:
+        field /= peak
+    return field
+
+
+@dataclass(slots=True)
+class CubeDataset:
+    """Grid cells ('cubes') flattened into packets.
+
+    Per cube: integer position (x, y, z), the 8 corner scalar values, and
+    the precomputed min/max (the data repository stores these, which is
+    what makes the data-node rejection test cheap — §6.3)."""
+
+    xs: np.ndarray
+    ys: np.ndarray
+    zs: np.ndarray
+    vals: np.ndarray  # (n, 8)
+    minval: np.ndarray
+    maxval: np.ndarray
+    grid_shape: tuple[int, int, int]
+
+    @property
+    def n_cubes(self) -> int:
+        return len(self.xs)
+
+    def selectivity(self, isovalue: float) -> float:
+        """Fraction of cubes the isosurface crosses."""
+        hit = (self.minval <= isovalue) & (self.maxval >= isovalue)
+        return float(hit.mean())
+
+    def packets(self, num_packets: int) -> list[RawPacket]:
+        """Split the cube list into contiguous packets (the runtime-chosen
+        packet count of §3)."""
+        out: list[RawPacket] = []
+        for chunk in np.array_split(np.arange(self.n_cubes), num_packets):
+            out.append(
+                RawPacket(
+                    count=len(chunk),
+                    fields={
+                        "x": self.xs[chunk].astype(np.float64),
+                        "y": self.ys[chunk].astype(np.float64),
+                        "z": self.zs[chunk].astype(np.float64),
+                        "vals": self.vals[chunk],
+                        "minval": self.minval[chunk],
+                        "maxval": self.maxval[chunk],
+                    },
+                )
+            )
+        return out
+
+
+def make_cube_dataset(
+    shape: tuple[int, int, int] = (24, 24, 24), seed: int = 7
+) -> CubeDataset:
+    """Cubes of a ``shape`` grid with corner values from a smooth field."""
+    field = scalar_field(shape, seed)
+    nx, ny, nz = shape
+    cx, cy, cz = nx - 1, ny - 1, nz - 1
+    xs, ys, zs = np.meshgrid(
+        np.arange(cx), np.arange(cy), np.arange(cz), indexing="ij"
+    )
+    xs, ys, zs = xs.ravel(), ys.ravel(), zs.ravel()
+    vals = np.zeros((len(xs), 8))
+    corner = 0
+    for dx in (0, 1):
+        for dy in (0, 1):
+            for dz in (0, 1):
+                vals[:, corner] = field[xs + dx, ys + dy, zs + dz]
+                corner += 1
+    return CubeDataset(
+        xs=xs,
+        ys=ys,
+        zs=zs,
+        vals=vals,
+        minval=vals.min(axis=1),
+        maxval=vals.max(axis=1),
+        grid_shape=shape,
+    )
+
+
+# ---------------------------------------------------------------------------
+# 3-D points (k-nearest neighbours)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class PointDataset:
+    points: np.ndarray  # (n, 3) float64
+
+    @property
+    def n_points(self) -> int:
+        return len(self.points)
+
+    def packets(self, num_packets: int) -> list[RawPacket]:
+        out: list[RawPacket] = []
+        for chunk in np.array_split(np.arange(self.n_points), num_packets):
+            out.append(
+                RawPacket(
+                    count=len(chunk),
+                    fields={
+                        "x": self.points[chunk, 0],
+                        "y": self.points[chunk, 1],
+                        "z": self.points[chunk, 2],
+                    },
+                )
+            )
+        return out
+
+
+def make_point_dataset(n_points: int = 100_000, seed: int = 11) -> PointDataset:
+    rng = np.random.default_rng(seed)
+    return PointDataset(points=rng.uniform(0.0, 1.0, (n_points, 3)))
+
+
+# ---------------------------------------------------------------------------
+# Tiled images (virtual microscope)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class TileDataset:
+    """A large image stored as fixed-size tiles, as a digitized slide
+    repository would decluster it."""
+
+    image_w: int
+    image_h: int
+    tile: int
+    x0s: np.ndarray
+    y0s: np.ndarray
+    ws: np.ndarray
+    hs: np.ndarray
+    pixels: list[np.ndarray]  # per tile, flattened RGB float32 (w*h*3)
+
+    @property
+    def n_tiles(self) -> int:
+        return len(self.x0s)
+
+    def query_selectivity(self, qx0: int, qy0: int, qx1: int, qy1: int) -> float:
+        hit = (
+            (self.x0s < qx1)
+            & (self.x0s + self.ws > qx0)
+            & (self.y0s < qy1)
+            & (self.y0s + self.hs > qy0)
+        )
+        return float(hit.mean())
+
+    def packets(self, num_packets: int) -> list[RawPacket]:
+        out: list[RawPacket] = []
+        for chunk in np.array_split(np.arange(self.n_tiles), num_packets):
+            rows = [self.pixels[i] for i in chunk]
+            out.append(
+                RawPacket(
+                    count=len(chunk),
+                    fields={
+                        "x0": self.x0s[chunk].astype(np.float64),
+                        "y0": self.y0s[chunk].astype(np.float64),
+                        "w": self.ws[chunk].astype(np.float64),
+                        "h": self.hs[chunk].astype(np.float64),
+                        "pixels": ragged_from_rows(rows, dtype=np.float32),
+                    },
+                )
+            )
+        return out
+
+
+def make_tile_dataset(
+    image_w: int = 1024, image_h: int = 1024, tile: int = 64, seed: int = 13
+) -> TileDataset:
+    """Synthetic slide: smooth low-frequency texture plus seeded speckle,
+    split into ``tile`` x ``tile`` blocks (last row/column may be short)."""
+    rng = np.random.default_rng(seed)
+    # low-frequency base via coarse noise upsampled with repeat
+    coarse = rng.uniform(0.0, 1.0, (image_h // 32 + 1, image_w // 32 + 1, 3))
+    base = np.repeat(np.repeat(coarse, 32, axis=0), 32, axis=1)[
+        :image_h, :image_w, :
+    ]
+    image = 0.8 * base + 0.2 * rng.uniform(0.0, 1.0, (image_h, image_w, 3))
+    x0s, y0s, ws, hs, pixels = [], [], [], [], []
+    for y0 in range(0, image_h, tile):
+        for x0 in range(0, image_w, tile):
+            h = min(tile, image_h - y0)
+            w = min(tile, image_w - x0)
+            block = image[y0 : y0 + h, x0 : x0 + w, :]
+            x0s.append(x0)
+            y0s.append(y0)
+            ws.append(w)
+            hs.append(h)
+            pixels.append(np.ascontiguousarray(block, dtype=np.float32).ravel())
+    return TileDataset(
+        image_w=image_w,
+        image_h=image_h,
+        tile=tile,
+        x0s=np.asarray(x0s),
+        y0s=np.asarray(y0s),
+        ws=np.asarray(ws),
+        hs=np.asarray(hs),
+        pixels=pixels,
+    )

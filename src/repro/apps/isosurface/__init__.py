@@ -1,0 +1,23 @@
+"""Isosurface rendering applications (paper §3, §6.3): the z-buffer and
+active-pixels algorithms over synthetic ParSSim-like scalar grids."""
+
+from .active_pixels import ACTIVE_PIXELS_SOURCE, make_active_pixels_app
+from .kernels import (
+    extract_triangles,
+    make_active_pixels_class,
+    make_zbuffer_class,
+    project_triangles,
+)
+from .zbuffer import GRIDS, ZBUFFER_SOURCE, make_zbuffer_app
+
+__all__ = [
+    "ACTIVE_PIXELS_SOURCE",
+    "GRIDS",
+    "ZBUFFER_SOURCE",
+    "extract_triangles",
+    "make_active_pixels_app",
+    "make_active_pixels_class",
+    "make_zbuffer_app",
+    "make_zbuffer_class",
+    "project_triangles",
+]

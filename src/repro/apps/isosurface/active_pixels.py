@@ -1,0 +1,66 @@
+"""Isosurface rendering with active pixels (paper §6.1, §6.3).
+
+Identical pipeline structure to the z-buffer variant — the paper notes the
+initial steps (triangle extraction and transformation) are the same — but
+the reduction object is the sparse :class:`ActivePixels` set, which avoids
+allocating, initializing, or communicating a full z-buffer (Figs 7-8)."""
+
+from __future__ import annotations
+
+from .. import datasets  # noqa: F401 - re-exported context for docs
+from ..common import AppBundle, Workload
+from . import kernels
+from .zbuffer import (
+    GRIDS,
+    ISO_SOURCE_TEMPLATE,
+    _make_workload,
+    iso_method_costs,
+    iso_size_hints,
+    make_iso_registry,
+)
+
+ACTIVE_PIXELS_SOURCE = ISO_SOURCE_TEMPLATE.format(
+    red_class="ActivePixels",
+    red_fields="long[] idx;\n    double[] depth;\n    double[] color;",
+)
+
+
+def make_active_pixels_app(width: int = 200, height: int = 200) -> AppBundle:
+    red_cls = kernels.make_active_pixels_class(width, height)
+
+    def make_workload(
+        dataset: str = "small",
+        num_packets: int = 8,
+        isoval: float | None = None,
+        seed: int = 7,
+    ) -> Workload:
+        wl = _make_workload(
+            red_cls,
+            GRIDS[dataset],
+            num_packets,
+            isoval,
+            width,
+            height,
+            seed,
+            label=f"active-pixels/{dataset}",
+        )
+        # the sparse accumulator's expected size: bounded by fragment
+        # count, capped by the screen (drives the partials' volume)
+        frags = (
+            wl.profile["packet_size"]
+            * wl.profile["sel.g0"]
+            * wl.profile["scale.frags"]
+        )
+        wl.profile.params["apix.count"] = min(frags, float(width * height))
+        return wl
+
+    return AppBundle(
+        name="iso-active-pixels",
+        source=ACTIVE_PIXELS_SOURCE,
+        registry=make_iso_registry("ActivePixels"),
+        runtime_classes={"ActivePixels": red_cls},
+        size_hints=iso_size_hints(width, height),
+        make_workload=make_workload,
+        method_costs=iso_method_costs("ActivePixels"),
+        notes="Isosurface rendering, sparse active-pixels algorithm (Figs 7-8).",
+    )

@@ -1,0 +1,322 @@
+"""Numeric kernels for isosurface rendering (paper §3, §6.3).
+
+The pipeline structure lives in the dialect sources; these NumPy kernels
+implement the per-cube geometry:
+
+* :func:`extract_triangles` — a simplified marching-cubes step: find the
+  cube edges the isosurface crosses, interpolate crossing points, and
+  triangulate them as a fan.  Not the full 256-case MC table, but data
+  dependent and geometrically coherent, which is all the pipeline shape
+  depends on (triangle count per accepted cube, floats per triangle).
+* :func:`project_triangles` — rotate by the view angle, perspective-less
+  projection to a W x H screen, clip, and emit splat points
+  ``(px, py, depth, color)`` for accumulation.
+
+Both carry analysis summaries (reads/writes/cost) when registered as
+intrinsics — see :func:`make_iso_registry` in the app modules.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+#: cube corner coordinates in the order datasets.make_cube_dataset uses
+_CORNERS = np.array(
+    [
+        (dx, dy, dz)
+        for dx in (0, 1)
+        for dy in (0, 1)
+        for dz in (0, 1)
+    ],
+    dtype=np.float64,
+)
+
+#: the 12 cube edges as corner-index pairs
+_EDGES = np.array(
+    [
+        (0, 1), (0, 2), (0, 4), (1, 3), (1, 5), (2, 3),
+        (2, 6), (3, 7), (4, 5), (4, 6), (5, 7), (6, 7),
+    ],
+    dtype=np.int64,
+)
+
+
+def extract_triangles(
+    vals: np.ndarray, x: float, y: float, z: float, isoval: float
+) -> np.ndarray:
+    """Triangles approximating the isosurface inside one cube.
+
+    Returns a flat float64 array of length ``9 * n_triangles``
+    (three xyz vertices per triangle); empty when the surface misses the
+    cube."""
+    vals = np.asarray(vals, dtype=np.float64)
+    a = vals[_EDGES[:, 0]]
+    b = vals[_EDGES[:, 1]]
+    crossing = ((a - isoval) * (b - isoval)) < 0.0
+    n_cross = int(crossing.sum())
+    if n_cross < 3:
+        return np.zeros(0, dtype=np.float64)
+    denom = b[crossing] - a[crossing]
+    t = (isoval - a[crossing]) / denom
+    p0 = _CORNERS[_EDGES[crossing, 0]]
+    p1 = _CORNERS[_EDGES[crossing, 1]]
+    pts = p0 + t[:, None] * (p1 - p0)
+    pts = pts + np.array([x, y, z])
+    # fan triangulation around the first crossing point
+    n_tris = n_cross - 2
+    out = np.empty((n_tris, 9), dtype=np.float64)
+    for k in range(n_tris):
+        out[k, 0:3] = pts[0]
+        out[k, 3:6] = pts[k + 1]
+        out[k, 6:9] = pts[k + 2]
+    return out.ravel()
+
+
+def project_triangles(
+    tris: np.ndarray,
+    angle: float,
+    grid_extent: float,
+    width: int,
+    height: int,
+) -> np.ndarray:
+    """Transform triangles to view coordinates and project to the screen.
+
+    Returns screen-space triangle records, flat 10-value tuples
+    ``(px0, px1, px2, py0, py1, py2, depth0, depth1, depth2, color)``;
+    ``color`` encodes the surface orientation (a cheap shading proxy).
+    Rasterization (:func:`rasterize_triangles`) turns these into
+    per-pixel fragments."""
+    tris = np.asarray(tris, dtype=np.float64)
+    if tris.size == 0:
+        return np.zeros(0, dtype=np.float64)
+    v = tris.reshape(-1, 3, 3)
+    ca, sa = math.cos(angle), math.sin(angle)
+    xr = v[:, :, 0] * ca - v[:, :, 2] * sa
+    zr = v[:, :, 0] * sa + v[:, :, 2] * ca
+    yr = v[:, :, 1]
+    # orthographic projection filling the screen; rotation can push points
+    # up to extent*sqrt(2)/2 from the axis, hence the 1.5 margin
+    half = grid_extent * 0.75
+    px = (xr - grid_extent / 2 + half) * (width - 1) / (2 * half)
+    py = (yr - grid_extent / 2 + half) * (height - 1) / (2 * half)
+    depth = zr
+    # shading proxy: triangle normal's z component
+    e1 = v[:, 1, :] - v[:, 0, :]
+    e2 = v[:, 2, :] - v[:, 0, :]
+    normal_z = e1[:, 0] * e2[:, 1] - e1[:, 1] * e2[:, 0]
+    norm = np.sqrt((e1**2).sum(axis=1) * (e2**2).sum(axis=1)) + 1e-12
+    color = 0.5 + 0.5 * np.abs(normal_z) / norm
+
+    n = len(v)
+    out = np.empty((n, 10), dtype=np.float64)
+    out[:, 0:3] = px
+    out[:, 3:6] = py
+    out[:, 6:9] = depth
+    out[:, 9] = color
+    return out.ravel()
+
+
+def rasterize_triangles(
+    screen_tris: np.ndarray, width: int, height: int
+) -> np.ndarray:
+    """Scan-convert projected triangles into fragments.
+
+    Input: flat array of 10-value records ``(px0..2, py0..2, depth0..2,
+    color)`` from :func:`project_triangles`.  Output: flat ``(px, py,
+    depth, color)`` quadruples, one per covered pixel, with barycentric
+    depth interpolation — the per-pixel work that makes rendering the
+    compute-heavy stage of the pipeline (§6.3)."""
+    tris = np.asarray(screen_tris, dtype=np.float64)
+    if tris.size == 0:
+        return np.zeros(0, dtype=np.float64)
+    recs = tris.reshape(-1, 10)
+    frags: list[np.ndarray] = []
+    for rec in recs:
+        xs, ys, zs, color = rec[0:3], rec[3:6], rec[6:9], rec[9]
+        x_min = max(int(np.floor(xs.min())), 0)
+        x_max = min(int(np.ceil(xs.max())), width - 1)
+        y_min = max(int(np.floor(ys.min())), 0)
+        y_max = min(int(np.ceil(ys.max())), height - 1)
+        if x_min > x_max or y_min > y_max:
+            continue
+        gx, gy = np.meshgrid(
+            np.arange(x_min, x_max + 1), np.arange(y_min, y_max + 1)
+        )
+        # barycentric coordinates
+        d = (ys[1] - ys[2]) * (xs[0] - xs[2]) + (xs[2] - xs[1]) * (ys[0] - ys[2])
+        if abs(d) < 1e-12:
+            continue
+        l0 = ((ys[1] - ys[2]) * (gx - xs[2]) + (xs[2] - xs[1]) * (gy - ys[2])) / d
+        l1 = ((ys[2] - ys[0]) * (gx - xs[2]) + (xs[0] - xs[2]) * (gy - ys[2])) / d
+        l2 = 1.0 - l0 - l1
+        inside = (l0 >= -1e-9) & (l1 >= -1e-9) & (l2 >= -1e-9)
+        if not inside.any():
+            continue
+        depth = l0 * zs[0] + l1 * zs[1] + l2 * zs[2]
+        out = np.empty((int(inside.sum()), 4))
+        out[:, 0] = gx[inside]
+        out[:, 1] = gy[inside]
+        out[:, 2] = depth[inside]
+        out[:, 3] = color
+        frags.append(out.ravel())
+    if not frags:
+        return np.zeros(0, dtype=np.float64)
+    return np.concatenate(frags)
+
+
+# ---------------------------------------------------------------------------
+# Reduction classes: dense z-buffer and sparse active pixels (§6.1)
+# ---------------------------------------------------------------------------
+
+
+def make_zbuffer_class(width: int, height: int) -> type:
+    """Dense z-buffer: a full depth + color plane per accumulator.
+
+    This is the §6.3 z-buffer algorithm: cheap updates, expensive to
+    allocate/communicate (width*height*16 bytes per partial)."""
+
+    class ZBuffer:
+        W, H = width, height
+
+        def __init__(self) -> None:
+            self.depth = np.full(width * height, np.inf)
+            self.color = np.zeros(width * height)
+
+        def accum(self, frags: np.ndarray) -> None:
+            """Accumulate fragments (px, py, depth, color), vectorized.
+
+            Equal depths tie-break by color so accumulation is fully
+            commutative (foreach order-independence, §3)."""
+            pts = np.asarray(frags, dtype=np.float64).reshape(-1, 4)
+            if len(pts) == 0:
+                return
+            idx = pts[:, 1].astype(np.int64) * width + pts[:, 0].astype(np.int64)
+            depth, color = pts[:, 2], pts[:, 3]
+            # one survivor per pixel within the batch ...
+            order = np.lexsort((color, depth, idx))
+            idx, depth, color = idx[order], depth[order], color[order]
+            first = np.ones(len(idx), dtype=bool)
+            first[1:] = idx[1:] != idx[:-1]
+            idx, depth, color = idx[first], depth[first], color[first]
+            # ... then the batch winner against the buffer
+            better = (depth < self.depth[idx]) | (
+                (depth == self.depth[idx]) & (color < self.color[idx])
+            )
+            self.depth[idx[better]] = depth[better]
+            self.color[idx[better]] = color[better]
+
+        def merge(self, other: "ZBuffer") -> None:
+            closer = (other.depth < self.depth) | (
+                (other.depth == self.depth) & (other.color < self.color)
+            )
+            self.depth[closer] = other.depth[closer]
+            self.color[closer] = other.color[closer]
+
+        def pack(self) -> dict[str, np.ndarray]:
+            return {"depth": self.depth.copy(), "color": self.color.copy()}
+
+        @classmethod
+        def unpack(cls, packed: dict[str, np.ndarray]) -> "ZBuffer":
+            obj = cls()
+            obj.depth = packed["depth"].copy()
+            obj.color = packed["color"].copy()
+            return obj
+
+        # -- test/bench helpers ------------------------------------------
+        def covered_pixels(self) -> int:
+            return int(np.isfinite(self.depth).sum())
+
+        def image(self) -> np.ndarray:
+            img = np.zeros(width * height)
+            covered = np.isfinite(self.depth)
+            img[covered] = self.color[covered]
+            return img.reshape(height, width)
+
+        @property
+        def nbytes(self) -> int:
+            return self.depth.nbytes + self.color.nbytes
+
+    ZBuffer.__name__ = f"ZBuffer{width}x{height}"
+    return ZBuffer
+
+
+def make_active_pixels_class(width: int, height: int) -> type:
+    """Sparse z-buffer (the §6.3 *active pixels* algorithm): only pixels
+    actually touched are stored and communicated — it "avoids allocating,
+    initializing, or communicating a full z-buffer"."""
+
+    class ActivePixels:
+        W, H = width, height
+
+        def __init__(self) -> None:
+            self.idx = np.zeros(0, dtype=np.int64)
+            self.depth = np.zeros(0)
+            self.color = np.zeros(0)
+
+        def accum(self, frags: np.ndarray) -> None:
+            pts = np.asarray(frags, dtype=np.float64).reshape(-1, 4)
+            if len(pts) == 0:
+                return
+            ix = pts[:, 0].astype(np.int64)
+            iy = pts[:, 1].astype(np.int64)
+            idx = iy * width + ix
+            self.idx = np.concatenate([self.idx, idx])
+            self.depth = np.concatenate([self.depth, pts[:, 2]])
+            self.color = np.concatenate([self.color, pts[:, 3]])
+            if len(self.idx) > 8 * width:  # keep the sparse set compact
+                self._compact()
+
+        def _compact(self) -> None:
+            if len(self.idx) == 0:
+                return
+            # sort by pixel, then depth, then color: the survivor per pixel
+            # is order-independent even under depth ties
+            order = np.lexsort((self.color, self.depth, self.idx))
+            idx = self.idx[order]
+            first = np.ones(len(idx), dtype=bool)
+            first[1:] = idx[1:] != idx[:-1]
+            self.idx = idx[first]
+            self.depth = self.depth[order][first]
+            self.color = self.color[order][first]
+
+        def merge(self, other: "ActivePixels") -> None:
+            self.idx = np.concatenate([self.idx, other.idx])
+            self.depth = np.concatenate([self.depth, other.depth])
+            self.color = np.concatenate([self.color, other.color])
+            self._compact()
+
+        def pack(self) -> dict[str, np.ndarray]:
+            self._compact()
+            return {
+                "idx": self.idx.copy(),
+                "depth": self.depth.copy(),
+                "color": self.color.copy(),
+            }
+
+        @classmethod
+        def unpack(cls, packed: dict[str, np.ndarray]) -> "ActivePixels":
+            obj = cls()
+            obj.idx = packed["idx"].copy()
+            obj.depth = packed["depth"].copy()
+            obj.color = packed["color"].copy()
+            return obj
+
+        # -- test/bench helpers ------------------------------------------
+        def covered_pixels(self) -> int:
+            self._compact()
+            return len(self.idx)
+
+        def image(self) -> np.ndarray:
+            self._compact()
+            img = np.zeros(width * height)
+            img[self.idx] = self.color
+            return img.reshape(height, width)
+
+        @property
+        def nbytes(self) -> int:
+            return self.idx.nbytes + self.depth.nbytes + self.color.nbytes
+
+    ActivePixels.__name__ = f"ActivePixels{width}x{height}"
+    return ActivePixels

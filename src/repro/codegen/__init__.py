@@ -1,0 +1,45 @@
+"""Code generation (paper §5): boundary layouts with instance-/field-wise
+packing, packet serialization, dialect-to-Python translation, and per-unit
+filter emission."""
+
+from .buffers import BatchBuilder, RecordBatch, pack, unpack
+from .filtergen import (
+    CompiledPipeline,
+    FilterGenerator,
+    GeneratedFilter,
+    RuntimeConfig,
+)
+from .layout import (
+    ColumnSpec,
+    LayoutBuilder,
+    PacketFieldSpec,
+    PacketLayout,
+    dtype_for,
+    mangle,
+)
+from .pygen import CodegenError, NameEnv, PyGen, generate_runtime_class
+from .runtime_support import FINAL_PACKET, RawPacket, ragged_from_rows
+
+__all__ = [
+    "BatchBuilder",
+    "CodegenError",
+    "ColumnSpec",
+    "CompiledPipeline",
+    "FINAL_PACKET",
+    "FilterGenerator",
+    "GeneratedFilter",
+    "LayoutBuilder",
+    "NameEnv",
+    "PacketFieldSpec",
+    "PacketLayout",
+    "PyGen",
+    "RawPacket",
+    "RecordBatch",
+    "RuntimeConfig",
+    "dtype_for",
+    "generate_runtime_class",
+    "mangle",
+    "pack",
+    "ragged_from_rows",
+    "unpack",
+]

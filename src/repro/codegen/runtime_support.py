@@ -1,0 +1,62 @@
+"""Runtime support objects shared by generated filter code.
+
+Generated filters receive their input either as :class:`RawPacket` (the
+first filter, reading directly from the data host's packets) or as packed
+:class:`~repro.codegen.buffers.RecordBatch` bytes (every later filter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+
+@dataclass(slots=True)
+class RawPacket:
+    """One packet as stored on the data host.
+
+    ``fields`` maps *element-class field names* (e.g. ``minval``,
+    ``corners``) to either
+
+    * a fixed array of shape ``(count,)`` or ``(count, L)``, or
+    * a ragged pair ``(values, offsets)`` with ``len(offsets) == count + 1``.
+    """
+
+    count: int
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def row(self, name: str, r: int):
+        """Value of field ``name`` for element ``r``."""
+        data = self.fields[name]
+        if isinstance(data, tuple):
+            values, offsets = data
+            return values[offsets[r] : offsets[r + 1]]
+        return data[r]
+
+    @property
+    def nbytes(self) -> int:
+        total = 0
+        for data in self.fields.values():
+            if isinstance(data, tuple):
+                total += data[0].nbytes + data[1].nbytes
+            else:
+                total += data.nbytes
+        return total
+
+
+def ragged_from_rows(rows: list[np.ndarray], dtype=np.float64) -> tuple[np.ndarray, np.ndarray]:
+    """Build a (values, offsets) ragged pair from per-row arrays."""
+    offsets = np.zeros(len(rows) + 1, dtype=np.int64)
+    for r, row in enumerate(rows):
+        offsets[r + 1] = offsets[r] + len(row)
+    if rows and offsets[-1] > 0:
+        values = np.concatenate([np.asarray(r, dtype=dtype) for r in rows])
+    else:
+        values = np.zeros(0, dtype=dtype)
+    return values, offsets
+
+
+#: packet index marking a FINAL buffer (reduction state flush at finalize)
+FINAL_PACKET = -2

@@ -1,0 +1,27 @@
+"""Compilation driver: the public entry point tying frontend, analyses,
+cost model, decomposition, and code generation together."""
+
+from .packetsize import PacketSweepResult, choose_packet_count
+from .compiler import (
+    CompilationResult,
+    CompileOptions,
+    analyze_source,
+    compile_source,
+    compute_problem,
+    decompose,
+    default_plan,
+    source_only_plan,
+)
+
+__all__ = [
+    "CompilationResult",
+    "PacketSweepResult",
+    "choose_packet_count",
+    "CompileOptions",
+    "analyze_source",
+    "compile_source",
+    "compute_problem",
+    "decompose",
+    "default_plan",
+    "source_only_plan",
+]

@@ -1,0 +1,44 @@
+"""Cost model (paper §4.3): pipeline environments, CostComp/CostComm, and
+the bottleneck execution-time formula."""
+
+from .environment import (
+    ComputeUnit,
+    Link,
+    MYRINET_BANDWIDTH,
+    MYRINET_LATENCY,
+    PAPER_CONFIGS,
+    PENTIUM_700_POWER,
+    PipelineEnv,
+    cluster_config,
+    make_pipeline,
+)
+from .model import (
+    DEFAULT_WEIGHTS,
+    OpWeights,
+    StageTimes,
+    cost_comm,
+    cost_comp,
+    estimate_total_time,
+    pipeline_time,
+    stage_times_for_assignment,
+)
+
+__all__ = [
+    "ComputeUnit",
+    "DEFAULT_WEIGHTS",
+    "Link",
+    "MYRINET_BANDWIDTH",
+    "MYRINET_LATENCY",
+    "OpWeights",
+    "PAPER_CONFIGS",
+    "PENTIUM_700_POWER",
+    "PipelineEnv",
+    "StageTimes",
+    "cluster_config",
+    "cost_comm",
+    "cost_comp",
+    "estimate_total_time",
+    "make_pipeline",
+    "pipeline_time",
+    "stage_times_for_assignment",
+]

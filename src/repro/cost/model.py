@@ -1,0 +1,133 @@
+"""The execution-time cost model (paper §4.3).
+
+Total pipeline time over ``N`` packets with per-packet stage times
+``T(C_i)`` and link times ``T(L_i)``::
+
+    (N - 1) * T(bottleneck) + sum_i T(C_i) + sum_i T(L_i)
+
+where the bottleneck is the slowest stage or link.  ``CostComp`` converts a
+filter's weighted operation count into seconds on a unit; ``CostComm``
+converts a boundary's byte volume into seconds on a link.  Transparent
+copies divide a stage's (and its feeding link's) per-packet load by the
+stage width — the §6 speedup mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..lang.intrinsics import OpCount
+from .environment import ComputeUnit, Link, PipelineEnv
+
+
+@dataclass(frozen=True, slots=True)
+class OpWeights:
+    """Relative costs of the three op classes (flop-normalized)."""
+
+    flop: float = 1.0
+    iop: float = 0.5
+    branch: float = 0.25
+
+    def total(self, ops: OpCount) -> float:
+        return ops.flops * self.flop + ops.iops * self.iop + ops.branches * self.branch
+
+
+DEFAULT_WEIGHTS = OpWeights()
+
+
+def cost_comp(unit: ComputeUnit, task_ops: OpCount | float,
+              weights: OpWeights = DEFAULT_WEIGHTS) -> float:
+    """CostComp(P(C_j), Task(f_i)): seconds for one packet's worth of work
+    of a filter on a unit (one transparent copy)."""
+    total = task_ops if isinstance(task_ops, (int, float)) else weights.total(task_ops)
+    return float(total) / unit.power
+
+
+def cost_comm(link: Link, volume_bytes: float) -> float:
+    """CostComm(B(L_j), Vol(f_i)): seconds to move one packet's boundary
+    volume across a link."""
+    return volume_bytes / link.bandwidth + link.latency
+
+
+@dataclass(slots=True)
+class StageTimes:
+    """Per-packet times of a concrete decomposition: ``comp[j]`` is
+    T(C_{j+1}) and ``comm[j]`` is T(L_{j+1}) — already divided by stage
+    width where transparent copies apply.
+
+    ``drain[j]`` marks links past the last filter: they carry the final
+    output once per run, so they count toward fill time but never toward
+    the steady-state bottleneck."""
+
+    comp: list[float] = field(default_factory=list)
+    comm: list[float] = field(default_factory=list)
+    drain: list[bool] = field(default_factory=list)
+
+    def _is_drain(self, j: int) -> bool:
+        return j < len(self.drain) and self.drain[j]
+
+    @property
+    def bottleneck(self) -> float:
+        candidates = list(self.comp) + [
+            t for j, t in enumerate(self.comm) if not self._is_drain(j)
+        ]
+        return max(candidates) if candidates else 0.0
+
+    def fill_time(self) -> float:
+        return sum(self.comp) + sum(self.comm)
+
+
+def pipeline_time(times: StageTimes, num_packets: int) -> float:
+    """The §4.3 formula: (N-1) * T(bottleneck) + Σ T(C_i) + Σ T(L_i)."""
+    if num_packets < 1:
+        return 0.0
+    return (num_packets - 1) * times.bottleneck + times.fill_time()
+
+
+def stage_times_for_assignment(
+    env: PipelineEnv,
+    unit_ops: list[OpCount | float],
+    link_volumes: list[float],
+    weights: OpWeights = DEFAULT_WEIGHTS,
+    use_widths: bool = True,
+) -> StageTimes:
+    """Build :class:`StageTimes` from per-unit op totals and per-link byte
+    volumes.  With ``use_widths``, a stage of width w processes packets in
+    round-robin across w transparent copies, so its *steady-state*
+    per-packet time divides by w; the link feeding a width-w consumer
+    likewise serves w packet streams in parallel at the paper's
+    configurations (w data nodes feed w compute nodes pairwise)."""
+    if len(unit_ops) != env.m or len(link_volumes) != env.m - 1:
+        raise ValueError("one op total per unit and one volume per link required")
+    comp: list[float] = []
+    for j in range(env.m):
+        unit = env.units[j]
+        t = cost_comp(unit, unit_ops[j], weights)
+        if use_widths:
+            t /= unit.width
+        comp.append(t)
+    comm: list[float] = []
+    for j in range(env.m - 1):
+        link = env.links[j]
+        t = cost_comm(link, link_volumes[j])
+        if use_widths:
+            # parallel streams: limited by the narrower endpoint
+            streams = min(env.units[j].width, env.units[j + 1].width)
+            t /= streams
+        comm.append(t)
+    return StageTimes(comp=comp, comm=comm)
+
+
+def estimate_total_time(
+    env: PipelineEnv,
+    unit_ops: list[OpCount | float],
+    link_volumes: list[float],
+    num_packets: int,
+    weights: OpWeights = DEFAULT_WEIGHTS,
+    use_widths: bool = True,
+) -> float:
+    """End-to-end §4.3 estimate for a concrete decomposition."""
+    times = stage_times_for_assignment(
+        env, unit_ops, link_volumes, weights, use_widths
+    )
+    return pipeline_time(times, num_packets)

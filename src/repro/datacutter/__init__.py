@@ -1,0 +1,63 @@
+"""DataCutter-style filter-stream runtime substrate (paper §2.2).
+
+Built from scratch for this reproduction: filters with
+``init``/``process``/``finalize``, streams moving fixed-size buffers,
+transparent copies with round-robin distribution, a threaded local
+execution engine, and a deterministic discrete-event simulator used by the
+experiment harness."""
+
+from .buffers import Buffer, BufferKind, StreamStats, payload_nbytes
+from .filters import (
+    Filter,
+    FilterContext,
+    FilterSpec,
+    FunctionFilter,
+    SourceFilter,
+)
+from .placement import PlacedPipeline
+from .runtime import PipelineError, RunResult, ThreadedPipeline, run_pipeline
+from .simulation import (
+    SimReport,
+    SimStage,
+    multi_server_fifo,
+    simulate,
+    simulate_pipeline,
+    stages_for_pipeline,
+)
+from .streams import (
+    Broadcast,
+    ByPacket,
+    CollectorStream,
+    DistributionPolicy,
+    LogicalStream,
+    RoundRobin,
+)
+
+__all__ = [
+    "Broadcast",
+    "Buffer",
+    "BufferKind",
+    "ByPacket",
+    "CollectorStream",
+    "DistributionPolicy",
+    "Filter",
+    "FilterContext",
+    "FilterSpec",
+    "FunctionFilter",
+    "LogicalStream",
+    "PipelineError",
+    "PlacedPipeline",
+    "RoundRobin",
+    "RunResult",
+    "SimReport",
+    "SimStage",
+    "SourceFilter",
+    "StreamStats",
+    "ThreadedPipeline",
+    "multi_server_fifo",
+    "payload_nbytes",
+    "run_pipeline",
+    "simulate",
+    "simulate_pipeline",
+    "stages_for_pipeline",
+]

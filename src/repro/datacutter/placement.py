@@ -1,0 +1,70 @@
+"""Placement of logical filters onto pipeline stages.
+
+Couples a compiled/authored list of :class:`~repro.datacutter.filters.FilterSpec`
+with a :class:`~repro.cost.environment.PipelineEnv`: every filter names the
+stage that hosts it, widths default to the stage width (transparent
+copies), and validation enforces the paper's model — placements are
+non-decreasing along the chain (data flows forward only) and the first/last
+stages host the source/view filters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cost.environment import PipelineEnv
+from .filters import FilterSpec
+
+
+@dataclass(slots=True)
+class PlacedPipeline:
+    """A validated (specs, environment) pair ready to run or simulate."""
+
+    specs: list[FilterSpec]
+    env: PipelineEnv
+
+    def __post_init__(self) -> None:
+        if not self.specs:
+            raise ValueError("empty pipeline")
+        prev = 0
+        for spec in self.specs:
+            if spec.placement < 0 or spec.placement >= self.env.m:
+                raise ValueError(
+                    f"filter '{spec.name}' placed on stage {spec.placement}, "
+                    f"but the environment has {self.env.m} stages"
+                )
+            if spec.placement < prev:
+                raise ValueError(
+                    f"filter '{spec.name}' flows backwards "
+                    f"(stage {spec.placement} after {prev})"
+                )
+            prev = spec.placement
+
+    def with_widths_from_env(self) -> "PlacedPipeline":
+        """Set every filter's width to its hosting stage's width."""
+        specs = []
+        for spec in self.specs:
+            width = self.env.units[spec.placement].width
+            specs.append(
+                FilterSpec(
+                    name=spec.name,
+                    factory=spec.factory,
+                    placement=spec.placement,
+                    width=width,
+                    out_policy=spec.out_policy,
+                    params=spec.params,
+                )
+            )
+        return PlacedPipeline(specs, self.env)
+
+    def filters_on_stage(self, stage: int) -> list[FilterSpec]:
+        return [s for s in self.specs if s.placement == stage]
+
+    def crossing_pairs(self) -> list[tuple[FilterSpec, FilterSpec, int]]:
+        """(producer, consumer, link index) for every stream that crosses a
+        link — the streams whose volume the decomposition tried to shrink."""
+        out = []
+        for a, b in zip(self.specs, self.specs[1:]):
+            if b.placement > a.placement:
+                out.append((a, b, a.placement))
+        return out

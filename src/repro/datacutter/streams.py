@@ -1,0 +1,139 @@
+"""Streams with transparent-copy routing (paper §2.2).
+
+    "The filter runtime system maintains the illusion of a single logical
+    point-to-point stream for communication between a logical producer
+    filter and a logical consumer filter.  When the logical producer or
+    logical consumer is transparently copied, the system decides for each
+    producer which copy to send a stream buffer to.  Schemes like
+    round-robin allocation are used to achieve load balancing."
+
+A :class:`LogicalStream` connects ``p`` producer copies to ``c`` consumer
+copies through bounded per-copy queues.  Producers call :meth:`put`; the
+distribution policy picks the consumer copy.  End-of-work propagates once
+*all* producer copies have signalled completion.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Callable, Optional
+
+from .buffers import Buffer, StreamStats
+
+#: sentinel delivered to each consumer copy when the stream drains
+_EOS = object()
+
+
+class DistributionPolicy:
+    """Chooses the consumer copy for each buffer."""
+
+    def choose(self, buf: Buffer, n_consumers: int) -> int:  # pragma: no cover
+        raise NotImplementedError
+
+
+class RoundRobin(DistributionPolicy):
+    """The DataCutter default."""
+
+    def __init__(self) -> None:
+        self._next = 0
+        self._lock = threading.Lock()
+
+    def choose(self, buf: Buffer, n_consumers: int) -> int:
+        with self._lock:
+            idx = self._next
+            self._next = (self._next + 1) % n_consumers
+            return idx
+
+
+class ByPacket(DistributionPolicy):
+    """Deterministic: packet k goes to copy k mod c.  Used by tests that
+    need reproducible routing and by the reduction-merge pattern."""
+
+    def choose(self, buf: Buffer, n_consumers: int) -> int:
+        return buf.packet % n_consumers if buf.packet >= 0 else 0
+
+
+class Broadcast(DistributionPolicy):
+    """Every buffer goes to every consumer copy (control traffic)."""
+
+    def choose(self, buf: Buffer, n_consumers: int) -> int:
+        return -1  # special-cased in LogicalStream.put
+
+
+class LogicalStream:
+    """One logical producer->consumer connection."""
+
+    def __init__(
+        self,
+        name: str,
+        n_producers: int = 1,
+        n_consumers: int = 1,
+        capacity: int = 16,
+        policy: Optional[DistributionPolicy] = None,
+    ) -> None:
+        if n_producers < 1 or n_consumers < 1:
+            raise ValueError("streams need at least one copy on each side")
+        self.name = name
+        self.n_producers = n_producers
+        self.n_consumers = n_consumers
+        self.policy = policy or RoundRobin()
+        self._queues: list[queue.Queue] = [
+            queue.Queue(maxsize=capacity) for _ in range(n_consumers)
+        ]
+        self._open_producers = n_producers
+        self._lock = threading.Lock()
+        self.stats = StreamStats()
+
+    # -- producer side -------------------------------------------------------
+    def put(self, buf: Buffer) -> None:
+        self.stats.record(buf)
+        target = self.policy.choose(buf, self.n_consumers)
+        if target == -1:
+            for q in self._queues:
+                q.put(buf)
+        else:
+            self._queues[target].put(buf)
+
+    def close_producer(self) -> None:
+        """Called by each producer copy when it finishes its unit-of-work;
+        the last close broadcasts end-of-stream to all consumer copies."""
+        with self._lock:
+            self._open_producers -= 1
+            if self._open_producers < 0:
+                raise RuntimeError(f"stream {self.name}: too many closes")
+            if self._open_producers == 0:
+                for q in self._queues:
+                    q.put(_EOS)
+
+    # -- consumer side ----------------------------------------------------------
+    def get(self, consumer_index: int, timeout: float | None = None) -> Buffer | None:
+        """Next buffer for a consumer copy; ``None`` means end-of-stream."""
+        item = self._queues[consumer_index].get(timeout=timeout)
+        if item is _EOS:
+            return None
+        return item
+
+    def drain(self, consumer_index: int) -> list[Buffer]:
+        """Collect everything until end-of-stream (used by sinks/tests)."""
+        out: list[Buffer] = []
+        while True:
+            buf = self.get(consumer_index)
+            if buf is None:
+                return out
+            out.append(buf)
+
+
+class CollectorStream(LogicalStream):
+    """Single-consumer stream whose contents can be fetched after the run —
+    the 'final results on the user's desktop' endpoint."""
+
+    def __init__(self, name: str = "collector", n_producers: int = 1) -> None:
+        super().__init__(
+            name, n_producers=n_producers, n_consumers=1, capacity=0
+        )
+        # unbounded queue so the sink never blocks the pipeline
+        self._queues = [queue.Queue()]
+
+    def results(self) -> list[Buffer]:
+        return self.drain(0)

@@ -1,0 +1,20 @@
+"""Filter decomposition (paper §4.4): the Figure 3 dynamic program, its
+O(m)-space variant, a full-objective Pareto extension, and the exponential
+brute force used for validation."""
+
+from .brute import brute_force, enumerate_plans, plan_count
+from .dp import DPResult, decompose_dp, decompose_dp_bottleneck, decompose_dp_low_space
+from .plan import INF, DecompositionPlan, DecompositionProblem
+
+__all__ = [
+    "DPResult",
+    "DecompositionPlan",
+    "DecompositionProblem",
+    "INF",
+    "brute_force",
+    "decompose_dp",
+    "decompose_dp_bottleneck",
+    "decompose_dp_low_space",
+    "enumerate_plans",
+    "plan_count",
+]

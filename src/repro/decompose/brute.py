@@ -1,0 +1,62 @@
+"""Brute-force decomposition (paper §4.4).
+
+    "a brute-force approach is to consider all combination of m-1 filter
+    boundary placements over n candidates ... This term is exponential in
+    the value of m."
+
+Enumerates every non-decreasing cut vector (cuts may coincide — a unit may
+be left empty, acting as a relay) and prices each plan, under either the
+Figure 3 fill objective or the full §4.3 objective.  Used to validate both
+DP variants and as the baseline in the Figure 3 scaling benchmark.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations_with_replacement
+from typing import Callable, Iterator
+
+from .plan import INF, DecompositionPlan, DecompositionProblem
+
+
+def enumerate_plans(n_filters: int, m: int) -> Iterator[DecompositionPlan]:
+    """All C(n+m, m-1)-style placements of m-1 cuts over n+1 filters."""
+    for cuts in combinations_with_replacement(range(n_filters + 1), m - 1):
+        yield DecompositionPlan.from_cuts(cuts, n_filters, m)
+
+
+def brute_force(
+    problem: DecompositionProblem,
+    objective: str = "fill",
+    charge_raw_input: bool = False,
+) -> tuple[float, DecompositionPlan | None]:
+    """Exhaustively find the optimal plan.
+
+    ``objective``: ``"fill"`` (the Figure 3 DP objective) or ``"total"``
+    (full §4.3 bottleneck formula with widths, matching
+    :func:`~repro.decompose.dp.decompose_dp_bottleneck`).
+    """
+    if objective == "fill":
+        price: Callable[[DecompositionPlan], float] = (
+            lambda plan: problem.evaluate_fill(plan, charge_raw_input)
+        )
+    elif objective == "total":
+        price = problem.evaluate
+    else:
+        raise ValueError(f"unknown objective {objective!r}")
+
+    best_cost = INF
+    best_plan: DecompositionPlan | None = None
+    for plan in enumerate_plans(problem.n_filters, problem.m):
+        cost = price(plan)
+        if cost < best_cost:
+            best_cost = cost
+            best_plan = plan
+    return best_cost, best_plan
+
+
+def plan_count(n_filters: int, m: int) -> int:
+    """Number of placements the brute force evaluates: C(n+m, m-1) with
+    n = n_filters - 1 candidates (the paper's count, allowing empty units)."""
+    from math import comb
+
+    return comb(n_filters + m - 1, m - 1)

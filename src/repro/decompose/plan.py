@@ -1,0 +1,193 @@
+"""Decomposition problem and plan data structures (paper §4.4).
+
+A :class:`DecompositionProblem` is the abstract instance the DP and the
+brute-force solver consume: ``n+1`` atomic filters with per-packet task
+sizes (weighted ops), ``per-boundary`` communication volumes (bytes), and a
+:class:`~repro.cost.environment.PipelineEnv`.
+
+Volumes are indexed ``vols[i]`` = bytes that cross a link if the cut is
+placed *after* filter ``f_i`` (``i = 0`` is the raw input, before ``f_1``;
+``i = n+1`` is the final output).  The published Figure 3 algorithm
+implicitly treats the raw-input move as free (``T[0, j] = 0``); passing
+``charge_raw_input=True`` to the solvers adds the forwarding cost, which is
+the variant the experiments use (see DESIGN.md).
+
+A :class:`DecompositionPlan` maps every filter to a unit (non-decreasing),
+equivalently ``m-1`` cut positions; :meth:`DecompositionProblem.evaluate`
+prices a plan with the full §4.3 formula (bottleneck + fill), while
+:meth:`evaluate_fill` prices only the fill-time sum that Figure 3's DP
+minimizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..cost.environment import PipelineEnv
+from ..cost.model import (
+    DEFAULT_WEIGHTS,
+    OpWeights,
+    StageTimes,
+    cost_comm,
+    cost_comp,
+    pipeline_time,
+)
+
+INF = float("inf")
+
+
+@dataclass(slots=True)
+class DecompositionProblem:
+    """Abstract instance: tasks, volumes, environment."""
+
+    tasks: list[float]  # weighted ops per packet for f_1..f_{n+1}
+    vols: list[float]  # bytes: vols[0]=raw input, vols[i]=after f_i, i<=n+1
+    env: PipelineEnv
+    num_packets: int = 1
+    weights: OpWeights = field(default_factory=lambda: DEFAULT_WEIGHTS)
+    use_widths: bool = True
+
+    def __post_init__(self) -> None:
+        # n+1 filters have n internal boundaries, plus the raw input (index
+        # 0) and the final output (index n+1): n+2 volumes in total.
+        if len(self.vols) != len(self.tasks) + 1:
+            raise ValueError(
+                f"{len(self.tasks)} filters need {len(self.tasks) + 1} volumes "
+                f"(raw input, one per boundary, final output), got {len(self.vols)}"
+            )
+        if any(t < 0 for t in self.tasks) or any(v < 0 for v in self.vols):
+            raise ValueError("tasks and volumes must be non-negative")
+
+    # -- sizes ---------------------------------------------------------------
+    @property
+    def n_filters(self) -> int:
+        """n+1 in the paper's notation."""
+        return len(self.tasks)
+
+    @property
+    def m(self) -> int:
+        return self.env.m
+
+    # -- elementary costs -------------------------------------------------------
+    def comp_time(self, i: int, j: int) -> float:
+        """CostComp(P(C_j), Task(f_i)); 1-based i and j, width-agnostic
+        (widths enter when a full plan is priced)."""
+        return cost_comp(self.env.unit(j), self.tasks[i - 1], self.weights)
+
+    def comm_time(self, i: int, j: int) -> float:
+        """CostComm(B(L_j), Vol(f_i)); ``i = 0`` prices the raw input."""
+        return cost_comm(self.env.link(j), self.vols[i])
+
+    # -- plan pricing -------------------------------------------------------------
+    def stage_times(self, plan: "DecompositionPlan") -> StageTimes:
+        """Per-packet stage/link times under the §4.3 model (with widths)."""
+        unit_ops = [0.0] * self.m
+        for i, j in enumerate(plan.assignment, start=1):
+            unit_ops[j - 1] += self.tasks[i - 1]
+        link_vols = [self.vols[plan.last_filter_before_link(k)] for k in
+                     range(1, self.m)]
+        comp = []
+        for j in range(1, self.m + 1):
+            t = cost_comp(self.env.unit(j), unit_ops[j - 1], self.weights)
+            if self.use_widths:
+                t /= self.env.unit(j).width
+            comp.append(t)
+        comm = []
+        drain = []
+        for k in range(1, self.m):
+            t = cost_comm(self.env.link(k), link_vols[k - 1])
+            if self.use_widths:
+                streams = min(self.env.unit(k).width, self.env.unit(k + 1).width)
+                t /= streams
+            comm.append(t)
+            # a link past the last filter only drains the final output
+            drain.append(
+                plan.last_filter_before_link(k) == len(plan.assignment)
+            )
+        return StageTimes(comp=comp, comm=comm, drain=drain)
+
+    def evaluate(self, plan: "DecompositionPlan") -> float:
+        """Full §4.3 total time: (N-1) * bottleneck + fill."""
+        return pipeline_time(self.stage_times(plan), self.num_packets)
+
+    def evaluate_fill(
+        self, plan: "DecompositionPlan", charge_raw_input: bool = False
+    ) -> float:
+        """The Figure 3 objective: Σ CostComp + Σ CostComm over the plan,
+        without width division (the DP models one copy per stage)."""
+        total = 0.0
+        for i, j in enumerate(plan.assignment, start=1):
+            total += self.comp_time(i, j)
+        for k in range(1, self.m):
+            i = plan.last_filter_before_link(k)
+            if i == 0 and not charge_raw_input:
+                continue
+            total += self.comm_time(i, k)
+        return total
+
+
+@dataclass(frozen=True, slots=True)
+class DecompositionPlan:
+    """``assignment[i-1] = j``: filter f_i runs on unit C_j (non-decreasing,
+    ending at the last unit is not required — results are forwarded)."""
+
+    assignment: tuple[int, ...]
+    m: int
+
+    def __post_init__(self) -> None:
+        if not self.assignment:
+            raise ValueError("a plan needs at least one filter")
+        prev = 1
+        for j in self.assignment:
+            if j < prev or j > self.m:
+                raise ValueError(f"invalid non-decreasing assignment {self.assignment}")
+            prev = j
+
+    @staticmethod
+    def from_cuts(cuts: Sequence[int], n_filters: int, m: int) -> "DecompositionPlan":
+        """``cuts`` = non-decreasing positions c_1..c_{m-1}; filters
+        ``c_k + 1 .. c_{k+1}`` land on unit ``k+1`` (c_0 = 0, c_m = n+1)."""
+        if len(cuts) != m - 1:
+            raise ValueError(f"need {m - 1} cuts, got {len(cuts)}")
+        bounds = [0, *cuts, n_filters]
+        prev = 0
+        for b in bounds:
+            if b < prev:
+                raise ValueError(f"cuts must be non-decreasing: {cuts}")
+            prev = b
+        assignment = []
+        for j in range(1, m + 1):
+            assignment.extend([j] * (bounds[j] - bounds[j - 1]))
+        return DecompositionPlan(tuple(assignment), m)
+
+    @property
+    def cuts(self) -> tuple[int, ...]:
+        """Cut positions: c_k = index of the last filter on units 1..k."""
+        n = len(self.assignment)
+        out = []
+        for k in range(1, self.m):
+            count = sum(1 for j in self.assignment if j <= k)
+            out.append(count)
+        return tuple(out)
+
+    def filters_on_unit(self, j: int) -> list[int]:
+        return [i for i, u in enumerate(self.assignment, start=1) if u == j]
+
+    def last_filter_before_link(self, k: int) -> int:
+        """Index of the filter whose ReqComm crosses link L_k (0 = raw
+        input when unit k and everything before it are empty)."""
+        last = 0
+        for i, j in enumerate(self.assignment, start=1):
+            if j <= k:
+                last = i
+        return last
+
+    def __str__(self) -> str:
+        groups = []
+        for j in range(1, self.m + 1):
+            fs = self.filters_on_unit(j)
+            groups.append(
+                "{" + ",".join(f"f{i}" for i in fs) + "}" if fs else "{}"
+            )
+        return " | ".join(groups)

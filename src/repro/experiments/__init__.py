@@ -1,0 +1,60 @@
+"""The §6 experiment harness: measured computation + simulated grid,
+reproducing every evaluation figure's shape."""
+
+from .harness import (
+    calibrate_net_scale,
+    MeasuredRun,
+    TimeAccumulator,
+    VERSIONS,
+    VersionTimes,
+    format_results,
+    measure_version,
+    run_experiment,
+    simulate_measured,
+    timed_specs,
+)
+
+__all__ = [
+    "calibrate_net_scale",
+    "MeasuredRun",
+    "TimeAccumulator",
+    "VERSIONS",
+    "VersionTimes",
+    "format_results",
+    "measure_version",
+    "run_experiment",
+    "simulate_measured",
+    "timed_specs",
+]
+
+from .figures import (
+    ALL_FIGURES,
+    FigureResult,
+    PaperSeries,
+    ShapeCheck,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    run_all,
+)
+
+__all__ += [
+    "ALL_FIGURES",
+    "FigureResult",
+    "PaperSeries",
+    "ShapeCheck",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
+    "figure12",
+    "run_all",
+]

@@ -1,0 +1,55 @@
+"""Frontend for the pipeline dialect (paper Section 3).
+
+The dialect is a small Java-like language extended with:
+
+* ``Rectdomain<k, Elem>`` — indexed collections with no inter-element
+  aliasing,
+* ``foreach`` — order-independent loops (reduction updates allowed),
+* ``Reducinterface`` — marker interface for classes whose updates are
+  associative and commutative,
+* ``PipelinedLoop`` — the packet loop that the compiler decomposes into a
+  pipeline of filters, and
+* ``runtime_define`` — scalars (such as the packet count) bound at run time.
+
+Typical use::
+
+    from repro.lang import parse, check
+    program = parse(source_text)
+    checked = check(program, registry)
+"""
+
+from .errors import (
+    AnalysisError,
+    DialectError,
+    LexError,
+    ParseError,
+    SemanticError,
+    SourceSpan,
+)
+from .intrinsics import GLOBAL_REGISTRY, Intrinsic, IntrinsicRegistry, OpCount
+from .lexer import tokenize
+from .parser import parse
+from .typecheck import CheckedProgram, MethodSig, NativeSig, check
+from .unparse import unparse, unparse_expr, unparse_stmt
+
+__all__ = [
+    "AnalysisError",
+    "CheckedProgram",
+    "DialectError",
+    "GLOBAL_REGISTRY",
+    "Intrinsic",
+    "IntrinsicRegistry",
+    "LexError",
+    "MethodSig",
+    "NativeSig",
+    "OpCount",
+    "ParseError",
+    "SemanticError",
+    "SourceSpan",
+    "check",
+    "parse",
+    "tokenize",
+    "unparse",
+    "unparse_expr",
+    "unparse_stmt",
+]

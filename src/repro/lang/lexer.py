@@ -1,0 +1,196 @@
+"""Hand-written lexer for the pipeline dialect.
+
+A single forward scan over the source string producing :class:`Token`
+objects.  Comments (``//`` line and ``/* */`` block) and whitespace are
+skipped; every token carries a precise :class:`SourceSpan` for diagnostics.
+"""
+
+from __future__ import annotations
+
+from .errors import LexError, SourceSpan
+from .tokens import KEYWORDS, Token, TokKind
+
+_TWO_CHAR = {
+    "==": TokKind.EQ,
+    "!=": TokKind.NE,
+    "<=": TokKind.LE,
+    ">=": TokKind.GE,
+    "&&": TokKind.AND,
+    "||": TokKind.OR,
+    "+=": TokKind.PLUS_ASSIGN,
+    "-=": TokKind.MINUS_ASSIGN,
+    "*=": TokKind.STAR_ASSIGN,
+    "/=": TokKind.SLASH_ASSIGN,
+}
+
+_ONE_CHAR = {
+    "{": TokKind.LBRACE,
+    "}": TokKind.RBRACE,
+    "(": TokKind.LPAREN,
+    ")": TokKind.RPAREN,
+    "[": TokKind.LBRACKET,
+    "]": TokKind.RBRACKET,
+    ";": TokKind.SEMI,
+    ",": TokKind.COMMA,
+    ".": TokKind.DOT,
+    "=": TokKind.ASSIGN,
+    "+": TokKind.PLUS,
+    "-": TokKind.MINUS,
+    "*": TokKind.STAR,
+    "/": TokKind.SLASH,
+    "%": TokKind.PERCENT,
+    "<": TokKind.LT,
+    ">": TokKind.GT,
+    "!": TokKind.NOT,
+    "?": TokKind.QUESTION,
+    ":": TokKind.COLON,
+}
+
+
+class Lexer:
+    """Tokenizes one source string.  Use :func:`tokenize` for convenience."""
+
+    def __init__(self, source: str) -> None:
+        self.src = source
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    # -- character helpers -------------------------------------------------
+    def _peek(self, offset: int = 0) -> str:
+        i = self.pos + offset
+        return self.src[i] if i < len(self.src) else ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos >= len(self.src):
+                return
+            if self.src[self.pos] == "\n":
+                self.line += 1
+                self.col = 1
+            else:
+                self.col += 1
+            self.pos += 1
+
+    def _span_from(self, line: int, col: int) -> SourceSpan:
+        return SourceSpan(line, col, self.line, self.col)
+
+    # -- skipping ----------------------------------------------------------
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.src):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.src) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start = SourceSpan.point(self.line, self.col)
+                self._advance(2)
+                while not (self._peek() == "*" and self._peek(1) == "/"):
+                    if self.pos >= len(self.src):
+                        raise LexError("unterminated block comment", start)
+                    self._advance()
+                self._advance(2)
+            else:
+                return
+
+    # -- token scanners ----------------------------------------------------
+    def _number(self) -> Token:
+        line, col = self.line, self.col
+        start = self.pos
+        saw_dot = saw_exp = False
+        while True:
+            ch = self._peek()
+            if ch.isdigit():
+                self._advance()
+            elif ch == "." and not saw_dot and not saw_exp and self._peek(1).isdigit():
+                saw_dot = True
+                self._advance()
+            elif ch in "eE" and not saw_exp and (
+                self._peek(1).isdigit()
+                or (self._peek(1) in "+-" and self._peek(2).isdigit())
+            ):
+                saw_exp = True
+                self._advance(2 if self._peek(1) in "+-" else 1)
+            else:
+                break
+        text = self.src[start : self.pos]
+        kind = TokKind.FLOAT if (saw_dot or saw_exp) else TokKind.INT
+        return Token(kind, text, self._span_from(line, col))
+
+    def _ident_or_keyword(self) -> Token:
+        line, col = self.line, self.col
+        start = self.pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self.src[start : self.pos]
+        kind = KEYWORDS.get(text, TokKind.IDENT)
+        return Token(kind, text, self._span_from(line, col))
+
+    def _string(self) -> Token:
+        line, col = self.line, self.col
+        self._advance()  # opening quote
+        chars: list[str] = []
+        while True:
+            ch = self._peek()
+            if ch == "":
+                raise LexError("unterminated string literal", SourceSpan.point(line, col))
+            if ch == "\n":
+                raise LexError("newline in string literal", SourceSpan.point(line, col))
+            if ch == '"':
+                self._advance()
+                break
+            if ch == "\\":
+                self._advance()
+                esc = self._peek()
+                table = {"n": "\n", "t": "\t", '"': '"', "\\": "\\"}
+                if esc not in table:
+                    raise LexError(
+                        f"unknown escape sequence '\\{esc}'",
+                        SourceSpan.point(self.line, self.col),
+                    )
+                chars.append(table[esc])
+                self._advance()
+            else:
+                chars.append(ch)
+                self._advance()
+        return Token(TokKind.STRING, "".join(chars), self._span_from(line, col))
+
+    # -- main loop ----------------------------------------------------------
+    def tokens(self) -> list[Token]:
+        out: list[Token] = []
+        while True:
+            self._skip_trivia()
+            if self.pos >= len(self.src):
+                out.append(
+                    Token(TokKind.EOF, "", SourceSpan.point(self.line, self.col))
+                )
+                return out
+            ch = self._peek()
+            if ch.isdigit():
+                out.append(self._number())
+            elif ch.isalpha() or ch == "_":
+                out.append(self._ident_or_keyword())
+            elif ch == '"':
+                out.append(self._string())
+            else:
+                two = ch + self._peek(1)
+                if two in _TWO_CHAR:
+                    line, col = self.line, self.col
+                    self._advance(2)
+                    out.append(Token(_TWO_CHAR[two], two, self._span_from(line, col)))
+                elif ch in _ONE_CHAR:
+                    line, col = self.line, self.col
+                    self._advance()
+                    out.append(Token(_ONE_CHAR[ch], ch, self._span_from(line, col)))
+                else:
+                    raise LexError(
+                        f"unexpected character {ch!r}",
+                        SourceSpan.point(self.line, self.col),
+                    )
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source``, returning a list ending with an EOF token."""
+    return Lexer(source).tokens()

@@ -1,0 +1,84 @@
+"""Alias-oracle and workload-profile tests."""
+
+import pytest
+
+from repro.analysis import AliasOracle, ConservativeOracle, SymExpr, WorkloadProfile
+from repro.analysis.values import AccessPath, Section
+from repro.lang.types import DOUBLE, ArrayType, ClassType, VarSymbol
+
+
+def sym(name, t=None):
+    return VarSymbol(name, t or ClassType("E"))
+
+
+class TestAliasOracle:
+    def test_distinct_roots_do_not_alias(self):
+        oracle = AliasOracle()
+        assert not oracle.may_alias_roots(sym("a"), sym("b"))
+
+    def test_same_root_aliases(self):
+        oracle = AliasOracle()
+        a = sym("a")
+        assert oracle.may_alias_roots(a, a)
+
+    def test_copy_creates_alias(self):
+        oracle = AliasOracle()
+        a, b = sym("a"), sym("b")
+        oracle.record_copy(b, a)
+        assert oracle.may_alias_roots(a, b)
+        assert oracle.may_alias_roots(b, a)
+
+    def test_transitive_copy_group(self):
+        oracle = AliasOracle()
+        a, b, c = sym("a"), sym("b"), sym("c")
+        oracle.record_copy(b, a)
+        oracle.record_copy(c, a)
+        assert oracle.may_alias_roots(b, c) or oracle.may_alias_roots(c, b)
+
+    def test_must_define_same_root_only(self):
+        oracle = AliasOracle()
+        a, b = sym("a"), sym("b")
+        oracle.record_copy(b, a)
+        pa, pb = AccessPath(a).field("x"), AccessPath(b).field("x")
+        assert oracle.must_define(pa, pa)
+        assert not oracle.must_define(pa, pb)  # may-alias is not must
+
+    def test_conservative_oracle(self):
+        oracle = ConservativeOracle()
+        a, b = sym("a"), sym("b")
+        assert oracle.may_alias_roots(a, b)
+        arr = sym("v", ArrayType(DOUBLE))
+        p1 = AccessPath(arr).elem(Section.point(SymExpr.const(0)))
+        p2 = AccessPath(arr).elem(
+            Section.rect()
+        ) if False else AccessPath(arr).elem(Section.full())
+        assert not oracle.must_define(p2, p1)  # only identical paths
+        assert oracle.must_define(p1, p1)
+
+
+class TestWorkloadProfile:
+    def test_defaults(self):
+        profile = WorkloadProfile({})
+        assert profile.num_packets == 1
+        assert profile.packet_size == 1.0
+        assert profile["anything"] == 1.0
+
+    def test_evaluate_symexpr(self):
+        profile = WorkloadProfile({"n": 10.0})
+        assert profile.evaluate(SymExpr.var("n") * 2 + 1) == 21.0
+        assert profile.evaluate(5) == 5.0
+
+    def test_with_params_copies(self):
+        base = WorkloadProfile({"a": 1.0})
+        derived = base.with_params(a=2.0, b=3.0)
+        assert base["a"] == 1.0
+        assert derived["a"] == 2.0 and derived["b"] == 3.0
+
+    def test_get_default(self):
+        assert WorkloadProfile({}).get("missing", 7.0) == 7.0
+
+    def test_as_mapping_detached(self):
+        profile = WorkloadProfile({"x": 1.0})
+        mapping = profile.as_mapping()
+        mapping["x"] = 99.0
+        assert profile["x"] == 1.0

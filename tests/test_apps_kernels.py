@@ -1,0 +1,248 @@
+"""Application kernel tests: datasets, isosurface geometry, reduction
+classes, knn candidate sets, vmscope subsampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps import (
+    knn_oracle,
+    make_cube_dataset,
+    make_knn_class,
+    make_point_dataset,
+    make_tile_dataset,
+    make_vimage_class,
+    scalar_field,
+    subsample_tile_masked,
+    subsample_tile_strided,
+)
+from repro.apps.isosurface import (
+    extract_triangles,
+    make_active_pixels_class,
+    make_zbuffer_class,
+    project_triangles,
+)
+from repro.apps.isosurface.kernels import rasterize_triangles
+
+
+class TestDatasets:
+    def test_scalar_field_normalized_and_deterministic(self):
+        a = scalar_field((8, 8, 8), seed=3)
+        b = scalar_field((8, 8, 8), seed=3)
+        assert np.array_equal(a, b)
+        assert 0.0 <= a.min() and a.max() <= 1.0
+
+    def test_cube_dataset_minmax_consistent(self):
+        ds = make_cube_dataset((6, 6, 6), seed=1)
+        assert np.all(ds.minval <= ds.maxval)
+        assert np.array_equal(ds.minval, ds.vals.min(axis=1))
+
+    def test_cube_packets_partition(self):
+        ds = make_cube_dataset((6, 6, 6), seed=1)
+        packets = ds.packets(4)
+        assert sum(p.count for p in packets) == ds.n_cubes
+
+    def test_selectivity_monotone_extremes(self):
+        ds = make_cube_dataset((8, 8, 8), seed=2)
+        assert ds.selectivity(-1.0) == 0.0
+        mid = ds.selectivity(0.5)
+        assert 0.0 <= mid <= 1.0
+
+    def test_point_packets(self):
+        ds = make_point_dataset(1000, seed=5)
+        packets = ds.packets(7)
+        assert sum(p.count for p in packets) == 1000
+
+    def test_tile_dataset_covers_image(self):
+        ds = make_tile_dataset(128, 96, tile=32, seed=5)
+        assert ds.n_tiles == 4 * 3
+        area = sum(w * h for w, h in zip(ds.ws, ds.hs))
+        assert area == 128 * 96
+
+    def test_tile_query_selectivity(self):
+        ds = make_tile_dataset(128, 128, tile=32, seed=5)
+        assert ds.query_selectivity(0, 0, 128, 128) == 1.0
+        assert ds.query_selectivity(0, 0, 1, 1) == pytest.approx(1 / 16)
+
+
+class TestIsoGeometry:
+    def test_non_crossing_cube_has_no_triangles(self):
+        vals = np.full(8, 0.9)
+        assert extract_triangles(vals, 0, 0, 0, 0.5).size == 0
+
+    def test_crossing_cube_produces_triangles(self):
+        vals = np.array([0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0])
+        tris = extract_triangles(vals, 2, 3, 4, 0.5)
+        assert tris.size % 9 == 0 and tris.size > 0
+        # vertices lie within the cube at (2,3,4)
+        pts = tris.reshape(-1, 3)
+        assert np.all(pts >= [2, 3, 4]) and np.all(pts <= [3, 4, 5])
+
+    def test_projection_on_screen(self):
+        vals = np.array([0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0])
+        tris = extract_triangles(vals, 1, 1, 1, 0.5)
+        stris = project_triangles(tris, 0.4, 8.0, 64, 64)
+        assert stris.size % 10 == 0
+
+    def test_rasterize_produces_fragments_in_bounds(self):
+        vals = np.array([0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0])
+        tris = extract_triangles(vals, 3, 3, 3, 0.5)
+        stris = project_triangles(tris, 0.4, 8.0, 64, 64)
+        frags = rasterize_triangles(stris, 64, 64).reshape(-1, 4)
+        assert len(frags) > 0
+        assert np.all(frags[:, 0] >= 0) and np.all(frags[:, 0] <= 63)
+        assert np.all(frags[:, 1] >= 0) and np.all(frags[:, 1] <= 63)
+
+    def test_empty_inputs(self):
+        assert project_triangles(np.zeros(0), 0.1, 8.0, 32, 32).size == 0
+        assert rasterize_triangles(np.zeros(0), 32, 32).size == 0
+
+
+class TestReductionClasses:
+    def frags(self, rows):
+        return np.asarray(rows, dtype=np.float64).ravel()
+
+    def test_zbuffer_min_select(self):
+        ZB = make_zbuffer_class(4, 4)
+        zb = ZB()
+        zb.accum(self.frags([[1, 1, 5.0, 0.3], [1, 1, 2.0, 0.7]]))
+        img = zb.image()
+        assert img[1, 1] == 0.7
+
+    def test_zbuffer_merge_commutative(self):
+        ZB = make_zbuffer_class(8, 8)
+        rng = np.random.default_rng(0)
+        pts = np.column_stack(
+            [
+                rng.integers(0, 8, 50),
+                rng.integers(0, 8, 50),
+                rng.uniform(0, 1, 50),
+                rng.uniform(0, 1, 50),
+            ]
+        ).ravel()
+        a1, a2 = ZB(), ZB()
+        a1.accum(pts[:100])
+        a2.accum(pts[100:])
+        m12, m21 = ZB(), ZB()
+        m12.merge(a1)
+        m12.merge(a2)
+        m21.merge(a2)
+        m21.merge(a1)
+        assert np.array_equal(m12.image(), m21.image())
+
+    def test_zbuffer_pack_roundtrip(self):
+        ZB = make_zbuffer_class(4, 4)
+        zb = ZB()
+        zb.accum(self.frags([[0, 0, 1.0, 0.5]]))
+        clone = ZB.unpack(zb.pack())
+        assert np.array_equal(clone.image(), zb.image())
+
+    def test_active_pixels_matches_zbuffer(self):
+        """The sparse algorithm computes the same image as the dense one."""
+        ZB = make_zbuffer_class(16, 16)
+        AP = make_active_pixels_class(16, 16)
+        rng = np.random.default_rng(1)
+        pts = np.column_stack(
+            [
+                rng.integers(0, 16, 300),
+                rng.integers(0, 16, 300),
+                rng.uniform(0, 1, 300),
+                rng.uniform(0, 1, 300),
+            ]
+        ).ravel()
+        zb, ap = ZB(), AP()
+        zb.accum(pts)
+        ap.accum(pts)
+        assert np.array_equal(zb.image(), ap.image())
+
+    def test_active_pixels_sparser_than_dense(self):
+        ZB = make_zbuffer_class(64, 64)
+        AP = make_active_pixels_class(64, 64)
+        zb, ap = ZB(), AP()
+        pts = self.frags([[1, 1, 0.5, 0.5], [2, 2, 0.25, 0.5]])
+        zb.accum(pts)
+        ap.accum(pts)
+        packed_dense = sum(a.nbytes for a in zb.pack().values())
+        packed_sparse = sum(a.nbytes for a in ap.pack().values())
+        assert packed_sparse < packed_dense / 50
+
+
+class TestKnn:
+    def test_insert_keeps_k_best(self):
+        KNN = make_knn_class(2)
+        acc = KNN()
+        for d in [5.0, 1.0, 3.0, 0.5]:
+            acc.insert(d, d, 0.0, 0.0)
+        assert sorted(acc.dist) == [0.5, 1.0]
+
+    def test_merge_matches_oracle(self):
+        rng = np.random.default_rng(2)
+        pts = rng.uniform(0, 1, (500, 3))
+        q = (0.5, 0.5, 0.5)
+        KNN = make_knn_class(7)
+        parts = []
+        for chunk in np.array_split(pts, 4):
+            acc = KNN()
+            for x, y, z in chunk:
+                d = (x - q[0]) ** 2 + (y - q[1]) ** 2 + (z - q[2]) ** 2
+                acc.insert(d, x, y, z)
+            parts.append(acc)
+        total = KNN()
+        for part in parts:
+            total.merge(part)
+        assert np.allclose(total.rows(), knn_oracle(pts, q, 7))
+
+    @given(st.integers(1, 10), st.randoms(use_true_random=False))
+    @settings(max_examples=30, deadline=None)
+    def test_insert_order_independent(self, k, rng):
+        KNN = make_knn_class(k)
+        items = [
+            (rng.uniform(0, 1), rng.uniform(0, 1), rng.uniform(0, 1), rng.uniform(0, 1))
+            for _ in range(30)
+        ]
+        a, b = KNN(), KNN()
+        for item in items:
+            a.insert(*item)
+        for item in reversed(items):
+            b.insert(*item)
+        assert np.allclose(a.rows(), b.rows())
+
+
+class TestVmscope:
+    @given(
+        st.integers(0, 40),
+        st.integers(0, 40),
+        st.integers(1, 4),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_masked_equals_strided(self, qx0, qy0, s, rng):
+        """The compiled (masked) and manual (strided) kernels agree."""
+        w = h = 16
+        x0 = rng.randint(0, 48)
+        y0 = rng.randint(0, 48)
+        qx1 = qx0 + rng.randint(1, 30)
+        qy1 = qy0 + rng.randint(1, 30)
+        pixels = np.arange(w * h * 3, dtype=np.float64)
+        a = subsample_tile_masked(pixels, x0, y0, w, h, qx0, qy0, qx1, qy1, s)
+        b = subsample_tile_strided(pixels, x0, y0, w, h, qx0, qy0, qx1, qy1, s)
+        assert np.array_equal(a, b)
+
+    def test_vimage_paste_and_merge(self):
+        VI = make_vimage_class(0, 0, 8, 8, 2)
+        a, b = VI(), VI()
+        block1 = np.concatenate([[0, 0, 2, 2], np.ones(2 * 2 * 3)])
+        block2 = np.concatenate([[2, 2, 2, 2], np.full(2 * 2 * 3, 2.0)])
+        a.paste(block1)
+        b.paste(block2)
+        a.merge(b)
+        img = a.image()
+        assert img[0, 0, 0] == 1.0 and img[2, 2, 0] == 2.0
+        assert img[3, 0, 0] == 0.0  # untouched stays background
+
+    def test_vimage_pack_roundtrip(self):
+        VI = make_vimage_class(0, 0, 4, 4, 1)
+        v = VI()
+        v.paste(np.concatenate([[1, 1, 1, 1], [0.25, 0.5, 0.75]]))
+        clone = VI.unpack(v.pack())
+        assert np.array_equal(clone.image(), v.image())

@@ -1,0 +1,204 @@
+"""Boundary identification and loop fission tests (§4.1)."""
+
+import pytest
+
+from repro.analysis import build_filter_chain, fission_foreach, rebuild_foreach_ast
+from repro.analysis.boundaries import AtomicFilter
+from repro.lang import check, parse, unparse_stmt
+from repro.lang.errors import AnalysisError
+
+PRELUDE = """
+native Rectdomain<1, E> read();
+native double[] work(double[] v, double s);
+native double[] work2(double[] v);
+class E { double key; double[] data; }
+class Acc implements Reducinterface {
+    double[] total;
+    void add(double[] v) { return; }
+    void merge(Acc other) { return; }
+}
+"""
+
+
+def chain_for(body: str, params: str = "double s, double cutoff"):
+    checked = check(
+        parse(
+            PRELUDE
+            + """
+class M {
+    void run(%s) {
+        runtime_define int num_packets;
+        Rectdomain<1, E> elems = read();
+        Acc result = new Acc();
+        PipelinedLoop (p in elems) {
+            %s
+        }
+    }
+}
+"""
+            % (params, body)
+        )
+    )
+    meth, loop = checked.pipelined_loops()[0]
+    return build_filter_chain(checked, meth, loop)
+
+
+class TestFission:
+    def _foreach(self, body: str):
+        checked = check(
+            parse(
+                PRELUDE
+                + "class M { void run(Rectdomain<1, E> d, double s, double cutoff)"
+                " { foreach (e in d) { %s } } }" % body
+            )
+        )
+        meth = checked.program.find_method("run")
+        return meth.body.body[0]
+
+    def test_call_statements_split(self):
+        loop = self._foreach(
+            "double[] a = work(e.data, s); double[] b = work2(a);"
+        )
+        fissioned = fission_foreach(loop)
+        assert len(fissioned.stages) == 2
+        assert all(len(st.stmts) == 1 for st in fissioned.stages)
+
+    def test_trailing_guard_becomes_filter_stage(self):
+        loop = self._foreach(
+            "if (e.key < cutoff) { double[] a = work(e.data, s); }"
+        )
+        fissioned = fission_foreach(loop)
+        assert fissioned.stages[0].guard is not None
+        assert fissioned.stages[0].guard_param == "sel.g0"
+        assert len(fissioned.stages) == 2
+
+    def test_if_with_else_stays_opaque(self):
+        loop = self._foreach(
+            "double x = 0.0; if (e.key < cutoff) { x = 1.0; } else { x = 2.0; }"
+        )
+        fissioned = fission_foreach(loop)
+        assert all(st.guard is None for st in fissioned.stages)
+
+    def test_if_followed_by_statement_stays_opaque(self):
+        loop = self._foreach(
+            "double x = 0.0; if (e.key < cutoff) { x = 1.0; } x = x + 1.0;"
+        )
+        fissioned = fission_foreach(loop)
+        assert all(st.guard is None for st in fissioned.stages)
+
+    def test_nested_guards(self):
+        loop = self._foreach(
+            "if (e.key < cutoff) { if (e.key > 0.0) { double[] a = work(e.data, s); } }"
+        )
+        fissioned = fission_foreach(loop)
+        guards = [st for st in fissioned.stages if st.guard is not None]
+        assert len(guards) == 2
+
+    def test_rebuild_preserves_guard_semantics(self):
+        loop = self._foreach(
+            "if (e.key < cutoff) { double[] a = work(e.data, s); double[] b = work2(a); }"
+        )
+        fissioned = fission_foreach(loop)
+        rebuilt = rebuild_foreach_ast(fissioned)
+        # every rebuilt loop re-applies the guard
+        for rebuilt_loop in rebuilt:
+            text = unparse_stmt(rebuilt_loop)
+            assert "if (e.key < cutoff)" in text
+
+    def test_local_roots_collected(self):
+        loop = self._foreach("double[] a = work(e.data, s); double[] b = work2(a);")
+        fissioned = fission_foreach(loop)
+        assert {sym.name for sym in fissioned.local_roots} == {"a", "b"}
+
+
+class TestChainConstruction:
+    def test_atoms_numbered_and_boundaries_between(self):
+        chain = chain_for(
+            """
+            Acc local = new Acc();
+            foreach (e in p) {
+                if (e.key < cutoff) {
+                    double[] a = work(e.data, s);
+                    local.add(a);
+                }
+            }
+            result.merge(local);
+            """
+        )
+        assert [a.index for a in chain.atoms] == list(range(1, len(chain.atoms) + 1))
+        assert len(chain.boundaries) == len(chain.atoms) - 1
+        kinds = [a.kind for a in chain.atoms]
+        assert kinds[0] == "packet" and kinds[-1] == "packet"
+        assert "element" in kinds
+
+    def test_guard_selectivity_params_applied_downstream(self):
+        chain = chain_for(
+            """
+            foreach (e in p) {
+                if (e.key < cutoff) {
+                    double[] a = work(e.data, s);
+                }
+            }
+            """
+        )
+        guard_atoms = [a for a in chain.atoms if a.guard is not None]
+        assert len(guard_atoms) == 1
+        after = [
+            a
+            for a in chain.atoms
+            if a.kind == "element" and a.index > guard_atoms[0].index
+        ]
+        assert all("sel.g0" in a.applied_guards for a in after)
+
+    def test_foreach_open_close_markers(self):
+        chain = chain_for(
+            "foreach (e in p) { double[] a = work(e.data, s); double[] b = work2(a); }"
+        )
+        element = [a for a in chain.atoms if a.kind == "element"]
+        assert element[0].opens_foreach and element[-1].closes_foreach
+        assert not any(a.opens_foreach for a in element[1:])
+
+    def test_two_foreach_loops_get_distinct_ids_and_guard_params(self):
+        chain = chain_for(
+            """
+            foreach (e in p) {
+                if (e.key < cutoff) { double[] a = work(e.data, s); }
+            }
+            foreach (e2 in p) {
+                if (e2.key > cutoff) { double[] b = work2(e2.data); }
+            }
+            """
+        )
+        ids = {a.foreach_id for a in chain.atoms if a.kind == "element"}
+        assert ids == {0, 1}
+        params = {a.guard_param for a in chain.atoms if a.guard_param}
+        assert params == {"sel.g0", "sel.g1"}
+
+    def test_inner_for_loop_stays_whole(self):
+        chain = chain_for(
+            """
+            foreach (e in p) {
+                double t = 0.0;
+                for (int i = 0; i < 4; i = i + 1) { t = t + e.data[i]; }
+            }
+            """
+        )
+        # the for loop is inside a single atom
+        assert all(a.kind in ("packet", "element") for a in chain.atoms)
+
+    def test_nested_foreach_rejected(self):
+        with pytest.raises(AnalysisError, match="nested foreach"):
+            chain_for("foreach (e in p) { foreach (e2 in p) { double x = e2.key; } }")
+
+    def test_empty_pipelined_loop_rejected(self):
+        with pytest.raises(AnalysisError, match="empty"):
+            chain_for("")
+
+    def test_packet_var_and_elem_vars_recorded(self):
+        chain = chain_for("foreach (e in p) { double x = e.key; }")
+        assert chain.packet_var.name == "p"
+        assert {v.name for v in chain.elem_vars} == {"e"}
+
+    def test_atom_accessor_one_based(self):
+        chain = chain_for("foreach (e in p) { double x = e.key; }")
+        assert chain.atom(1) is chain.atoms[0]

@@ -1,0 +1,99 @@
+"""Candidate filter boundary graph tests (§4.1)."""
+
+import pytest
+
+from repro.analysis import CandidateBoundaryGraph, build_filter_chain, chain_from_filter_chain
+from repro.lang import check, parse
+
+
+def simple_chain():
+    checked = check(
+        parse(
+            """
+            native Rectdomain<1, E> read();
+            native double[] work(double[] v);
+            class E { double key; double[] data; }
+            class M {
+                void run() {
+                    Rectdomain<1, E> d = read();
+                    PipelinedLoop (p in d) {
+                        foreach (e in p) { double[] a = work(e.data); }
+                    }
+                }
+            }
+            """
+        )
+    )
+    meth, loop = checked.pipelined_loops()[0]
+    return build_filter_chain(checked, meth, loop)
+
+
+class TestGraphStructure:
+    def test_chain_graph_is_linear_and_acyclic(self):
+        chain = simple_chain()
+        graph = chain_from_filter_chain(chain)
+        assert graph.is_acyclic()
+        paths = list(graph.flow_paths())
+        assert len(paths) == 1
+        segments = graph.segments_on_path(paths[0])
+        assert [s.index for s in segments] == [a.index for a in chain.atoms]
+
+    def test_start_predominates_end_postdominates(self):
+        graph = chain_from_filter_chain(simple_chain())
+        order = graph.topological_order()
+        assert order[0] == graph.start_key
+        assert order[-1] == graph.end_key
+
+    def test_branching_graph_flow_paths(self):
+        graph = CandidateBoundaryGraph()
+        graph.add_boundary("b1")
+        graph.add_boundary("b2a")
+        graph.add_boundary("b2b")
+        graph.add_edge(graph.start_key, "b1")
+        graph.add_edge("b1", "b2a")
+        graph.add_edge("b1", "b2b")
+        graph.add_edge("b2a", graph.end_key)
+        graph.add_edge("b2b", graph.end_key)
+        assert graph.is_acyclic()
+        paths = list(graph.flow_paths())
+        assert len(paths) == 2
+
+    def test_cycle_detected(self):
+        graph = CandidateBoundaryGraph()
+        graph.add_boundary("x")
+        graph.add_boundary("y")
+        graph.add_edge("x", "y")
+        graph.add_edge("y", "x")
+        assert not graph.is_acyclic()
+        with pytest.raises(ValueError, match="cycle"):
+            graph.topological_order()
+
+    def test_duplicate_node_rejected(self):
+        graph = CandidateBoundaryGraph()
+        graph.add_boundary("b")
+        with pytest.raises(ValueError, match="duplicate"):
+            graph.add_boundary("b")
+
+    def test_edge_endpoints_must_exist(self):
+        graph = CandidateBoundaryGraph()
+        with pytest.raises(KeyError):
+            graph.add_edge("missing", graph.end_key)
+
+    def test_flow_path_limit(self):
+        graph = CandidateBoundaryGraph()
+        prev = graph.start_key
+        # diamond chain: 2^10 paths
+        for i in range(10):
+            a, b, join = f"a{i}", f"b{i}", f"j{i}"
+            graph.add_boundary(a)
+            graph.add_boundary(b)
+            graph.add_boundary(join)
+            graph.add_edge(prev, a)
+            graph.add_edge(prev, b)
+            graph.add_edge(a, join)
+            graph.add_edge(b, join)
+            prev = join
+        graph.add_edge(prev, graph.end_key)
+        with pytest.raises(ValueError, match="more than"):
+            list(graph.flow_paths(limit=100))
+        assert len(list(graph.flow_paths(limit=2000))) == 1024

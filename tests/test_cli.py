@@ -1,0 +1,82 @@
+"""CLI tests for ``python -m repro``."""
+
+import pytest
+
+from repro.__main__ import main
+
+SOURCE = """
+native Rectdomain<1, E> read();
+native double[] work(double[] v, double s);
+class E { double key; double[] data; }
+class Acc implements Reducinterface {
+    double[] total;
+    void add(double[] v) { return; }
+    void merge(Acc o) { return; }
+}
+class M {
+    void run(double s, double cutoff) {
+        runtime_define int num_packets;
+        Rectdomain<1, E> elems = read();
+        Acc result = new Acc();
+        PipelinedLoop (p in elems) {
+            Acc local = new Acc();
+            foreach (e in p) {
+                if (e.key < cutoff) {
+                    double[] v = work(e.data, s);
+                    local.add(v);
+                }
+            }
+            result.merge(local);
+        }
+    }
+}
+"""
+
+
+@pytest.fixture()
+def source_file(tmp_path):
+    path = tmp_path / "app.pipe"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+def test_compile_report(source_file, capsys):
+    assert main(["compile", source_file]) == 0
+    out = capsys.readouterr().out
+    assert "plan:" in out and "volumes" in out
+
+
+def test_compile_emit_and_params(source_file, capsys):
+    code = main(
+        [
+            "compile",
+            source_file,
+            "--width",
+            "2",
+            "--objective",
+            "fill",
+            "--param",
+            "packet_size=500",
+            "--param",
+            "sel.g0=0.2",
+            "--emit",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "unit C_1" in out and "def generate" in out
+
+
+def test_apps_listing(capsys):
+    assert main(["apps"]) == 0
+    out = capsys.readouterr().out
+    assert "iso-zbuffer" in out and "vmscope" in out
+
+
+def test_figures_rejects_unknown(capsys):
+    assert main(["figures", "fig99"]) == 2
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])

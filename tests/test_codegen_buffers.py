@@ -1,0 +1,182 @@
+"""Packet serialization tests (§5, Figure 4): instance-wise, field-wise,
+ragged, packet fields, reductions — including a hypothesis round-trip."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.codegen.buffers import BatchBuilder, RecordBatch, pack, unpack
+from repro.codegen.layout import ColumnSpec, PacketFieldSpec, PacketLayout
+
+
+def scalar_col(name, group="instance", dtype=np.float64):
+    return ColumnSpec(
+        name=name, source=name, dtype=np.dtype(dtype), group=group
+    )
+
+
+def build(layout, rows, packet=3, packet_fields=None, reductions=None):
+    builder = BatchBuilder(layout, packet=packet)
+    for row in rows:
+        builder.append(**row)
+    builder.packet_fields = packet_fields or {}
+    builder.reductions = reductions or {}
+    return builder.build()
+
+
+class TestRoundTrips:
+    def test_instance_wise(self):
+        layout = PacketLayout(columns=[scalar_col("x"), scalar_col("y")])
+        batch = build(layout, [{"x": 1.0, "y": 2.0}, {"x": 3.0, "y": 4.0}])
+        out = unpack(pack(batch, layout), layout)
+        assert out.count == 2 and out.packet == 3
+        assert np.array_equal(out.columns["x"], [1.0, 3.0])
+        assert np.array_equal(out.columns["y"], [2.0, 4.0])
+
+    def test_field_wise(self):
+        layout = PacketLayout(
+            columns=[scalar_col("x", "fieldwise"), scalar_col("y", "fieldwise")]
+        )
+        batch = build(layout, [{"x": 1.0, "y": 2.0}])
+        out = unpack(pack(batch, layout), layout)
+        assert np.array_equal(out.columns["x"], [1.0])
+
+    def test_mixed_groups(self):
+        layout = PacketLayout(
+            columns=[
+                scalar_col("a", "instance"),
+                scalar_col("b", "fieldwise"),
+                scalar_col("c", "instance", np.int32),
+            ]
+        )
+        rows = [{"a": float(i), "b": float(-i), "c": i} for i in range(5)]
+        batch = build(layout, rows)
+        out = unpack(pack(batch, layout), layout)
+        assert np.array_equal(out.columns["c"], np.arange(5, dtype=np.int32))
+        assert np.array_equal(out.columns["b"], -np.arange(5, dtype=float))
+
+    def test_fixed_length_vector_column(self):
+        layout = PacketLayout(
+            columns=[
+                ColumnSpec(
+                    name="v",
+                    source="v",
+                    dtype=np.dtype(np.float64),
+                    length=3,
+                    group="instance",
+                )
+            ]
+        )
+        rows = [{"v": np.array([1.0, 2.0, 3.0])}, {"v": np.array([4.0, 5.0, 6.0])}]
+        batch = build(layout, rows)
+        out = unpack(pack(batch, layout), layout)
+        assert out.columns["v"].shape == (2, 3)
+        assert np.array_equal(out.columns["v"][1], [4.0, 5.0, 6.0])
+
+    def test_ragged_column(self):
+        layout = PacketLayout(
+            columns=[
+                ColumnSpec(
+                    name="tris",
+                    source="tris",
+                    dtype=np.dtype(np.float64),
+                    ragged=True,
+                    group="fieldwise",
+                )
+            ]
+        )
+        rows = [
+            {"tris": np.array([1.0, 2.0])},
+            {"tris": np.zeros(0)},
+            {"tris": np.array([3.0])},
+        ]
+        batch = build(layout, rows)
+        out = unpack(pack(batch, layout), layout)
+        assert np.array_equal(out.ragged_row("tris", 0), [1.0, 2.0])
+        assert len(out.ragged_row("tris", 1)) == 0
+        assert np.array_equal(out.ragged_row("tris", 2), [3.0])
+
+    def test_packet_fields_scalar_and_array(self):
+        layout = PacketLayout(
+            packet_fields=[
+                PacketFieldSpec("iso", "iso", np.dtype(np.float64)),
+                PacketFieldSpec("tbl", "tbl", np.dtype(np.int64), array=True),
+            ]
+        )
+        batch = build(
+            layout,
+            [],
+            packet_fields={"iso": 0.75, "tbl": np.arange(4, dtype=np.int64)},
+        )
+        out = unpack(pack(batch, layout), layout)
+        assert out.packet_fields["iso"] == 0.75
+        assert np.array_equal(out.packet_fields["tbl"], np.arange(4))
+
+    def test_reduction_state(self):
+        layout = PacketLayout(reduction_roots=["local"])
+        packed_state = {
+            "depth": np.array([1.0, 2.0]),
+            "color": np.array([0.5]),
+        }
+        batch = build(layout, [], reductions={"local": packed_state})
+        out = unpack(pack(batch, layout), layout)
+        assert np.array_equal(out.reductions["local"]["depth"], [1.0, 2.0])
+        assert np.array_equal(out.reductions["local"]["color"], [0.5])
+
+    def test_empty_batch(self):
+        layout = PacketLayout(columns=[scalar_col("x")])
+        batch = build(layout, [])
+        out = unpack(pack(batch, layout), layout)
+        assert out.count == 0
+        assert len(out.columns["x"]) == 0
+
+    def test_magic_checked(self):
+        layout = PacketLayout(columns=[scalar_col("x")])
+        with pytest.raises(ValueError, match="not a RecordBatch"):
+            unpack(b"garbage-bytes-here!!", layout)
+
+    def test_nbytes_accounting(self):
+        layout = PacketLayout(columns=[scalar_col("x")])
+        batch = build(layout, [{"x": float(i)} for i in range(10)])
+        assert batch.nbytes == 80
+
+
+@given(
+    st.integers(0, 40),
+    st.sampled_from(["instance", "fieldwise"]),
+    st.sampled_from(["instance", "fieldwise"]),
+    st.randoms(use_true_random=False),
+)
+@settings(max_examples=80, deadline=None)
+def test_pack_unpack_roundtrip_property(count, g1, g2, rng):
+    layout = PacketLayout(
+        columns=[
+            scalar_col("a", g1),
+            scalar_col("b", g2, np.int64),
+            ColumnSpec(
+                name="r",
+                source="r",
+                dtype=np.dtype(np.float32),
+                ragged=True,
+                group="fieldwise",
+            ),
+        ]
+    )
+    rows = [
+        {
+            "a": rng.uniform(-1e6, 1e6),
+            "b": rng.randint(-(2**40), 2**40),
+            "r": np.array(
+                [rng.uniform(0, 1) for _ in range(rng.randint(0, 5))],
+                dtype=np.float32,
+            ),
+        }
+        for _ in range(count)
+    ]
+    batch = build(layout, rows)
+    out = unpack(pack(batch, layout), layout)
+    assert out.count == count
+    assert np.array_equal(out.columns["a"], batch.columns["a"])
+    assert np.array_equal(out.columns["b"], batch.columns["b"])
+    for r in range(count):
+        assert np.array_equal(out.ragged_row("r", r), batch.ragged_row("r", r))

@@ -1,0 +1,168 @@
+"""Layout-builder tests (§5): trimmed classes, instance/field-wise
+grouping by first consumer, reduction scratch rule."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import analyze_communication, build_filter_chain
+from repro.codegen.layout import LayoutBuilder, mangle
+from repro.lang import check, parse
+
+SOURCE = """
+native Rectdomain<1, Cube> read();
+native double[] extract(double[] vals, double iso);
+native double[] project(double[] tris, double angle);
+native void show(Acc a);
+
+class Cube { double minval; double maxval; double[] vals; double unused; }
+
+class Acc implements Reducinterface {
+    double[] total;
+    void add(double[] v) { return; }
+    void merge(Acc other) { return; }
+}
+
+class M {
+    void run(double iso, double angle) {
+        runtime_define int num_packets;
+        Rectdomain<1, Cube> cubes = read();
+        Acc result = new Acc();
+        PipelinedLoop (p in cubes) {
+            Acc local = new Acc();
+            foreach (c in p) {
+                if (c.minval <= iso && c.maxval >= iso) {
+                    double[] tris = extract(c.vals, iso);
+                    double[] polys = project(tris, angle);
+                    local.add(polys);
+                }
+            }
+            result.merge(local);
+        }
+        show(result);
+    }
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def built():
+    from repro.lang import Intrinsic, IntrinsicRegistry
+    from repro.lang.types import DOUBLE, ArrayType
+
+    registry = IntrinsicRegistry(
+        [
+            Intrinsic("read", (), None, fn=lambda: None, writes=("return",)),
+            Intrinsic(
+                "extract",
+                (ArrayType(DOUBLE), DOUBLE),
+                ArrayType(DOUBLE),
+                fn=lambda v, s: v,
+                reads=("vals", "iso"),
+            ),
+            Intrinsic(
+                "project",
+                (ArrayType(DOUBLE), DOUBLE),
+                ArrayType(DOUBLE),
+                fn=lambda t, a: t,
+                reads=("tris", "angle"),
+            ),
+            Intrinsic("show", (), None, fn=lambda a: None, reads=("a",), writes=()),
+        ]
+    )
+    checked = check(parse(SOURCE), registry)
+    meth, loop = checked.pipelined_loops()[0]
+    chain = build_filter_chain(checked, meth, loop)
+    analysis = analyze_communication(chain)
+    builder = LayoutBuilder(chain, analysis, size_hints={"Cube.vals": 8})
+    return chain, analysis, builder
+
+
+class TestMangling:
+    def test_mangle(self):
+        assert mangle("c.minval") == "c__minval"
+        assert mangle("tris") == "tris"
+
+
+class TestLayouts:
+    def test_trimmed_fields_only(self, built):
+        """The §5 trimmed class: 'unused' never crosses any boundary."""
+        chain, analysis, builder = built
+        for b in chain.boundaries:
+            layout = builder.layout_for_boundary(b.index, set())
+            assert all("unused" not in c.source for c in layout.columns)
+
+    def test_guard_boundary_carries_guard_fields(self, built):
+        chain, analysis, builder = built
+        layout = builder.layout_for_boundary(1, {2})
+        sources = {c.source for c in layout.columns}
+        assert {"c.minval", "c.maxval", "c.vals"} <= sources
+
+    def test_post_guard_boundary_drops_guard_fields(self, built):
+        chain, analysis, builder = built
+        guard_atom = next(a for a in chain.atoms if a.guard is not None)
+        layout = builder.layout_for_boundary(guard_atom.index, set())
+        sources = {c.source for c in layout.columns}
+        assert "c.minval" not in sources
+        assert "c.vals" in sources
+
+    def test_instance_vs_fieldwise_by_first_consumer(self, built):
+        """Fields first read by the receiving filter pack instance-wise;
+        later-read fields pack field-wise (§5 rule)."""
+        chain, analysis, builder = built
+        guard_atom = next(a for a in chain.atoms if a.guard is not None)
+        extract_atom = guard_atom.index + 1
+        # consumer unit hosts only the extract atom: c.vals instance-wise
+        layout = builder.layout_for_boundary(guard_atom.index, {extract_atom})
+        col = layout.column("c.vals")
+        assert col is not None and col.group == "instance"
+        # consumer unit hosts nothing that reads c.vals -> field-wise
+        layout2 = builder.layout_for_boundary(guard_atom.index, set())
+        col2 = layout2.column("c.vals")
+        assert col2 is not None and col2.group == "fieldwise"
+
+    def test_fixed_length_hint_applied(self, built):
+        chain, analysis, builder = built
+        layout = builder.layout_for_boundary(1, set())
+        col = layout.column("c.vals")
+        assert not col.ragged and col.length == 8
+
+    def test_unhinted_array_is_ragged(self, built):
+        chain, analysis, builder = built
+        extract_atom = next(
+            a.index
+            for a in chain.atoms
+            if a.kind == "element" and a.guard is None
+        )
+        layout = builder.layout_for_boundary(extract_atom, set())
+        col = layout.column("tris")
+        assert col is not None and col.ragged
+        assert col.group == "fieldwise"  # ragged forces field-wise
+
+    def test_pristine_reduction_not_shipped(self, built):
+        """Before its first update the accumulator is scratch state."""
+        chain, analysis, builder = built
+        layout = builder.layout_for_boundary(1, set())
+        assert layout.reduction_roots == []
+
+    def test_written_reduction_shipped(self, built):
+        chain, analysis, builder = built
+        add_atom = next(
+            a.index
+            for a in chain.atoms
+            if any("add" in repr(s) for s in a.stmts)
+        )
+        layout = builder.layout_for_boundary(add_atom, set())
+        assert "local" in layout.reduction_roots
+
+    def test_packing_order_instance_first(self, built):
+        chain, analysis, builder = built
+        layout = builder.layout_for_boundary(1, {2})
+        groups = [c.group for c in layout.columns]
+        if "fieldwise" in groups and "instance" in groups:
+            assert groups.index("fieldwise") > groups.index("instance")
+
+    def test_packet_fields_for_externals(self, built):
+        chain, analysis, builder = built
+        layout = builder.layout_for_boundary(1, {2})
+        sources = {pf.source for pf in layout.packet_fields}
+        assert "iso" in sources

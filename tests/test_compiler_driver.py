@@ -1,0 +1,125 @@
+"""Compilation-driver tests: options, phase wiring, plan overrides."""
+
+import pytest
+
+from repro import CompileOptions, WorkloadProfile, compile_source, default_plan
+from repro.core.compiler import analyze_source, compute_problem, decompose, source_only_plan
+from repro.cost import cluster_config
+from repro.lang import Intrinsic, IntrinsicRegistry
+
+SOURCE = """
+native Rectdomain<1, E> read();
+native double[] work(double[] v, double s);
+class E { double key; double[] data; }
+class Acc implements Reducinterface {
+    double[] total;
+    void add(double[] v) { return; }
+    void merge(Acc other) { return; }
+}
+class M {
+    void run(double s, double cutoff) {
+        runtime_define int num_packets;
+        Rectdomain<1, E> elems = read();
+        Acc result = new Acc();
+        PipelinedLoop (p in elems) {
+            Acc local = new Acc();
+            foreach (e in p) {
+                if (e.key < cutoff) {
+                    double[] v = work(e.data, s);
+                    local.add(v);
+                }
+            }
+            result.merge(local);
+        }
+    }
+}
+"""
+
+
+def options(**kw):
+    defaults = dict(
+        env=cluster_config(1),
+        profile=WorkloadProfile({"num_packets": 4, "packet_size": 100}),
+        size_hints={"E.data": 4},
+    )
+    defaults.update(kw)
+    return CompileOptions(**defaults)
+
+
+class TestDriver:
+    def test_full_compilation(self):
+        result = compile_source(SOURCE, None, options())
+        assert result.plan is not None
+        assert len(result.pipeline.filters) == 3
+        assert len(result.tasks) == len(result.chain.atoms)
+        assert len(result.volumes) == len(result.chain.atoms) + 1
+
+    def test_objectives(self):
+        for objective in ("fill", "total", "brute"):
+            result = compile_source(SOURCE, None, options(objective=objective))
+            assert result.plan is not None
+
+    def test_unknown_objective(self):
+        with pytest.raises(ValueError, match="unknown objective"):
+            compile_source(SOURCE, None, options(objective="magic"))
+
+    def test_options_required(self):
+        with pytest.raises(ValueError, match="required"):
+            compile_source(SOURCE, None, None)
+
+    def test_plan_override(self):
+        checked, chain, _ = analyze_source(SOURCE)
+        plan = default_plan(chain, 3)
+        result = compile_source(SOURCE, None, options(), plan=plan)
+        assert result.plan is plan
+        # all atoms on the compute unit
+        assert result.pipeline.filters[0].atoms == []
+        assert result.pipeline.filters[1].atoms == list(
+            range(1, len(chain.atoms) + 1)
+        )
+
+    def test_source_only_plan(self):
+        checked, chain, _ = analyze_source(SOURCE)
+        plan = source_only_plan(chain, 3)
+        assert plan.filters_on_unit(1) == list(range(1, len(chain.atoms) + 1))
+
+    def test_method_selection(self):
+        two = SOURCE.replace(
+            "class M {",
+            """
+            class Other {
+                void alt(Rectdomain<1, E> d) {
+                    PipelinedLoop (q in d) { int z = 1; }
+                }
+            }
+            class M {
+            """,
+        )
+        result = compile_source(two, None, options(method="run"))
+        assert result.chain.method.name == "run"
+        with pytest.raises(ValueError, match="no PipelinedLoop"):
+            compile_source(two, None, options(method="nothere"))
+
+    def test_no_pipelined_loop_rejected(self):
+        with pytest.raises(ValueError, match="no PipelinedLoop"):
+            compile_source("class A { void f() { } }", None, options())
+
+    def test_volumes_monotone_through_guard(self):
+        result = compile_source(SOURCE, None, options())
+        guard = next(a for a in result.chain.atoms if a.guard is not None)
+        assert result.volumes[guard.index] < result.volumes[guard.index - 1]
+
+    def test_registry_implementations_reach_codegen(self):
+        registry = IntrinsicRegistry(
+            [Intrinsic("work", (), None, fn=lambda v, s: v)]
+        )
+        result = compile_source(SOURCE, registry, options())
+        gen = result.pipeline
+        # the intrinsic table used by generated filters has the impl
+        src = "\n".join(gf.source for gf in gen.filters)
+        assert "_intr['work']" in src
+
+    def test_report_contains_volumes_and_plan(self):
+        result = compile_source(SOURCE, None, options())
+        report = result.report()
+        assert "ops/packet" in report and "plan:" in report

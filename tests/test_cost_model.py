@@ -1,0 +1,118 @@
+"""Cost model tests (§4.3): environments, CostComp/CostComm, the
+bottleneck formula, and transparent-copy widths."""
+
+import pytest
+
+from repro.cost import (
+    ComputeUnit,
+    Link,
+    OpWeights,
+    PAPER_CONFIGS,
+    PipelineEnv,
+    StageTimes,
+    cluster_config,
+    cost_comm,
+    cost_comp,
+    estimate_total_time,
+    make_pipeline,
+    pipeline_time,
+    stage_times_for_assignment,
+)
+from repro.lang.intrinsics import OpCount
+
+
+class TestEnvironment:
+    def test_paper_configs_shape(self):
+        for name, env in PAPER_CONFIGS.items():
+            assert env.m == 3
+            assert env.units[2].width == 1  # the view node
+        assert PAPER_CONFIGS["2-2-1"].units[0].width == 2
+        assert PAPER_CONFIGS["4-4-1"].units[1].width == 4
+
+    def test_one_based_accessors(self):
+        env = cluster_config(2)
+        assert env.unit(1) is env.units[0]
+        assert env.link(2) is env.links[1]
+
+    def test_link_count_validated(self):
+        with pytest.raises(ValueError, match="links"):
+            PipelineEnv(
+                (ComputeUnit("a", 1.0), ComputeUnit("b", 1.0)),
+                (),
+            )
+
+    def test_invalid_unit_and_link(self):
+        with pytest.raises(ValueError, match="power"):
+            ComputeUnit("bad", 0.0)
+        with pytest.raises(ValueError, match="width"):
+            ComputeUnit("bad", 1.0, width=0)
+        with pytest.raises(ValueError, match="bandwidth"):
+            Link("bad", 0.0)
+
+    def test_with_widths(self):
+        env = make_pipeline([1.0, 1.0], [10.0]).with_widths([3, 2])
+        assert [u.width for u in env.units] == [3, 2]
+
+
+class TestElementaryCosts:
+    def test_cost_comp_scales_with_power(self):
+        fast = ComputeUnit("fast", 2e9)
+        slow = ComputeUnit("slow", 1e9)
+        ops = OpCount(flops=1000)
+        assert cost_comp(slow, ops) == pytest.approx(2 * cost_comp(fast, ops))
+
+    def test_cost_comp_accepts_raw_float(self):
+        unit = ComputeUnit("u", 100.0)
+        assert cost_comp(unit, 50.0) == pytest.approx(0.5)
+
+    def test_weights_applied(self):
+        unit = ComputeUnit("u", 1.0)
+        ops = OpCount(flops=1, iops=2, branches=4)
+        w = OpWeights(flop=1.0, iop=0.5, branch=0.25)
+        assert cost_comp(unit, ops, w) == pytest.approx(1 + 1 + 1)
+
+    def test_cost_comm_includes_latency(self):
+        link = Link("l", bandwidth=100.0, latency=0.5)
+        assert cost_comm(link, 200.0) == pytest.approx(2.5)
+
+
+class TestPipelineTime:
+    def test_formula_matches_paper(self):
+        """(N-1)*T(bottleneck) + sum T(C_i) + sum T(L_i)."""
+        times = StageTimes(comp=[1.0, 5.0, 2.0], comm=[0.5, 0.25])
+        assert times.bottleneck == 5.0
+        assert pipeline_time(times, 10) == pytest.approx(9 * 5.0 + 8.75)
+
+    def test_link_can_be_bottleneck(self):
+        times = StageTimes(comp=[1.0, 1.0], comm=[7.0])
+        assert times.bottleneck == 7.0
+
+    def test_drain_links_excluded_from_bottleneck(self):
+        times = StageTimes(comp=[1.0, 1.0], comm=[7.0], drain=[True])
+        assert times.bottleneck == 1.0
+        assert times.fill_time() == pytest.approx(9.0)
+
+    def test_zero_packets(self):
+        assert pipeline_time(StageTimes(comp=[1.0], comm=[]), 0) == 0.0
+
+    def test_widths_divide_stage_and_link_times(self):
+        env = make_pipeline([10.0, 10.0], [100.0], widths=[2, 2])
+        times = stage_times_for_assignment(env, [10.0, 10.0], [100.0])
+        assert times.comp == [0.5, 0.5]
+        assert times.comm[0] == pytest.approx(0.5)
+
+    def test_width_one_consumer_limits_link_streams(self):
+        env = make_pipeline([10.0, 10.0], [100.0], widths=[4, 1])
+        times = stage_times_for_assignment(env, [0.0, 0.0], [100.0])
+        assert times.comm[0] == pytest.approx(1.0)  # single stream
+
+    def test_estimate_total_time_end_to_end(self):
+        env = make_pipeline([1.0, 1.0], [1.0])
+        total = estimate_total_time(env, [2.0, 3.0], [1.5], num_packets=4)
+        # bottleneck = 3.0; fill = 2 + 3 + 1.5
+        assert total == pytest.approx(3 * 3.0 + 6.5)
+
+    def test_mismatched_inputs_rejected(self):
+        env = make_pipeline([1.0, 1.0], [1.0])
+        with pytest.raises(ValueError):
+            stage_times_for_assignment(env, [1.0], [1.0])

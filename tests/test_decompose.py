@@ -1,0 +1,168 @@
+"""Decomposition tests (§4.4): plans, the Figure 3 DP, the O(m)-space
+variant, the bottleneck extension, and brute-force equivalence (including
+a hypothesis sweep)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cost import make_pipeline
+from repro.decompose import (
+    DecompositionPlan,
+    DecompositionProblem,
+    brute_force,
+    decompose_dp,
+    decompose_dp_bottleneck,
+    decompose_dp_low_space,
+    enumerate_plans,
+    plan_count,
+)
+
+
+def problem(tasks, vols, powers, bws, widths=None, n=8):
+    return DecompositionProblem(
+        tasks=list(tasks),
+        vols=list(vols),
+        env=make_pipeline(powers, bws, widths),
+        num_packets=n,
+    )
+
+
+class TestPlan:
+    def test_from_cuts_roundtrip(self):
+        plan = DecompositionPlan.from_cuts([2, 5], n_filters=7, m=3)
+        assert plan.assignment == (1, 1, 2, 2, 2, 3, 3)
+        assert plan.cuts == (2, 5)
+
+    def test_empty_unit_allowed(self):
+        plan = DecompositionPlan.from_cuts([0, 3], n_filters=3, m=3)
+        assert plan.filters_on_unit(1) == []
+        assert plan.filters_on_unit(2) == [1, 2, 3]
+
+    def test_non_decreasing_enforced(self):
+        with pytest.raises(ValueError):
+            DecompositionPlan((2, 1), m=2)
+
+    def test_last_filter_before_link(self):
+        plan = DecompositionPlan.from_cuts([2, 2], n_filters=4, m=3)
+        assert plan.last_filter_before_link(1) == 2
+        assert plan.last_filter_before_link(2) == 2  # unit 2 empty
+
+    def test_raw_input_crossing(self):
+        plan = DecompositionPlan.from_cuts([0, 2], n_filters=2, m=3)
+        assert plan.last_filter_before_link(1) == 0  # raw input on L1
+
+    def test_str_rendering(self):
+        plan = DecompositionPlan.from_cuts([1], n_filters=2, m=2)
+        assert str(plan) == "{f1} | {f2}"
+
+    def test_enumerate_plan_count(self):
+        plans = list(enumerate_plans(n_filters=4, m=3))
+        assert len(plans) == plan_count(4, 3)
+        assert len({p.assignment for p in plans}) == len(plans)
+
+
+class TestProblemValidation:
+    def test_volume_count_checked(self):
+        with pytest.raises(ValueError, match="volumes"):
+            problem([1.0], [1.0], [1.0], [])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            problem([-1.0], [1.0, 1.0], [1.0], [])
+
+
+class TestDPHandWorked:
+    def test_single_unit(self):
+        prob = problem([10.0, 20.0], [5.0, 5.0, 5.0], [10.0], [])
+        result = decompose_dp(prob)
+        assert result.plan.assignment == (1, 1)
+        assert result.cost == pytest.approx(3.0)
+
+    def test_cheap_link_splits_work(self):
+        # two equal filters, huge bandwidth: splitting is free, fill equal;
+        # with charge_raw_input irrelevant; DP cost == either placement
+        prob = problem([100.0, 100.0], [1.0, 1.0, 1.0], [10.0, 10.0], [1e9])
+        result = decompose_dp(prob)
+        assert result.cost == pytest.approx(20.0, rel=1e-6)
+
+    def test_expensive_link_keeps_work_together(self):
+        prob = problem([100.0, 100.0], [1e9, 1e9, 1e9], [10.0, 10.0], [1.0])
+        result = decompose_dp(prob)
+        # moving anything across the link costs ~1e9 seconds; both filters
+        # stay on one unit — but the final result must still cross
+        assert result.plan.assignment in ((1, 1), (2, 2))
+
+    def test_fast_unit_attracts_work(self):
+        prob = problem([100.0], [0.0, 0.0], [1.0, 100.0], [1e12])
+        result = decompose_dp(prob)
+        assert result.plan.assignment == (2,)
+
+    def test_charge_raw_input_changes_decision(self):
+        # moving raw input is expensive; published init ignores it
+        prob = problem([10.0], [1e6, 0.0], [1.0, 100.0], [1.0])
+        free = decompose_dp(prob, charge_raw_input=False)
+        paid = decompose_dp(prob, charge_raw_input=True)
+        assert free.plan.assignment == (2,)
+        assert paid.plan.assignment == (1,)
+
+    def test_table_kept_when_requested(self):
+        prob = problem([1.0, 2.0], [0.5, 0.5, 0.5], [1.0, 1.0], [1.0])
+        result = decompose_dp(prob, keep_table=True)
+        assert result.table is not None
+        assert result.table[0][1] == 0.0  # published T[0, j] = 0
+
+
+class TestEquivalences:
+    @given(
+        st.integers(1, 6),
+        st.integers(1, 4),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_dp_matches_brute_force(self, n1, m, rng):
+        tasks = [rng.uniform(0, 100) for _ in range(n1)]
+        vols = [rng.uniform(0, 1000) for _ in range(n1 + 1)]
+        env = make_pipeline(
+            [rng.uniform(1, 100) for _ in range(m)],
+            [rng.uniform(1, 100) for _ in range(m - 1)],
+            [rng.randint(1, 4) for _ in range(m)],
+        )
+        prob = DecompositionProblem(tasks, vols, env, num_packets=rng.randint(1, 30))
+        for charge in (False, True):
+            dp = decompose_dp(prob, charge_raw_input=charge)
+            bf_cost, _ = brute_force(prob, "fill", charge_raw_input=charge)
+            assert dp.cost == pytest.approx(bf_cost, abs=1e-9)
+            assert decompose_dp_low_space(prob, charge) == pytest.approx(
+                dp.cost, abs=1e-9
+            )
+            assert prob.evaluate_fill(dp.plan, charge) == pytest.approx(
+                dp.cost, abs=1e-9
+            )
+
+    @given(st.integers(1, 5), st.integers(1, 4), st.randoms(use_true_random=False))
+    @settings(max_examples=60, deadline=None)
+    def test_bottleneck_dp_matches_brute_force(self, n1, m, rng):
+        tasks = [rng.uniform(0, 100) for _ in range(n1)]
+        vols = [rng.uniform(0, 1000) for _ in range(n1 + 1)]
+        env = make_pipeline(
+            [rng.uniform(1, 100) for _ in range(m)],
+            [rng.uniform(1, 100) for _ in range(m - 1)],
+            [rng.randint(1, 4) for _ in range(m)],
+        )
+        prob = DecompositionProblem(tasks, vols, env, num_packets=rng.randint(1, 30))
+        dp = decompose_dp_bottleneck(prob)
+        bf_cost, _ = brute_force(prob, "total")
+        assert dp.cost == pytest.approx(bf_cost, abs=1e-9)
+        assert prob.evaluate(dp.plan) == pytest.approx(dp.cost, abs=1e-9)
+
+    def test_complexity_table_is_linear_in_nm(self):
+        """O(nm): the DP fills (n+2)x(m+1) cells exactly once each."""
+        prob = problem(
+            [1.0] * 40,
+            [1.0] * 41,
+            [1.0] * 5,
+            [1.0] * 4,
+        )
+        result = decompose_dp(prob, keep_table=True)
+        assert len(result.table) == 41
+        assert all(len(row) == 6 for row in result.table)

@@ -1,0 +1,128 @@
+"""Experiment-harness tests: timing wrappers, measurement aggregation,
+calibration, and simulation of measured runs."""
+
+import pytest
+
+from repro.apps import make_knn_app
+from repro.cost import cluster_config
+from repro.datacutter import Filter, FilterSpec, SourceFilter, run_pipeline
+from repro.experiments import (
+    TimeAccumulator,
+    calibrate_net_scale,
+    format_results,
+    measure_version,
+    run_experiment,
+    simulate_measured,
+    timed_specs,
+)
+from repro.experiments.harness import MeasuredRun, VersionTimes
+
+
+class _Src(SourceFilter):
+    def generate(self, ctx):
+        for k in range(4):
+            yield float(k)
+
+
+class _Work(Filter):
+    def process(self, buf, ctx):
+        total = sum(i * 0.5 for i in range(2000))
+        ctx.write(buf.payload + total * 0, buf.packet)
+
+
+class TestTimingWrappers:
+    def test_accumulator_thread_safety_and_totals(self):
+        acc = TimeAccumulator()
+        acc.add("f", 0, 0.5)
+        acc.add("f", 0, 0.25)
+        acc.add("f", 1, 1.0)
+        assert acc.total("f") == pytest.approx(1.75)
+        assert acc.per_packet("f", 0) == pytest.approx(0.75)
+
+    def test_timed_specs_record_per_packet(self):
+        specs = [
+            FilterSpec("src", _Src),
+            FilterSpec("work", _Work, placement=1),
+        ]
+        acc = TimeAccumulator()
+        run_pipeline(timed_specs(specs, acc))
+        assert set(acc.seconds["work"].keys()) >= {0, 1, 2, 3}
+        assert all(t >= 0 for t in acc.seconds["work"].values())
+
+    def test_timed_specs_preserve_results(self):
+        specs = [
+            FilterSpec("src", _Src),
+            FilterSpec("work", _Work, placement=1),
+        ]
+        plain = run_pipeline(specs).payloads
+        acc = TimeAccumulator()
+        timed = run_pipeline(timed_specs(specs, acc)).payloads
+        assert sorted(plain) == sorted(timed)
+
+
+@pytest.fixture(scope="module")
+def knn_measured():
+    app = make_knn_app(k=3)
+    workload = app.make_workload(n_points=3000, num_packets=5)
+    return app, workload, measure_version(app, workload, "Decomp-Comp")
+
+
+class TestMeasurement:
+    def test_measured_run_shape(self, knn_measured):
+        _app, workload, measured = knn_measured
+        assert measured.correct
+        assert measured.num_packets == 5
+        assert len(measured.stage_seconds) == 3
+        assert len(measured.link_bytes) == 2
+        assert measured.modeled_packet_seconds is not None
+
+    def test_stage_means_positive_where_work_happens(self, knn_measured):
+        _app, _wl, measured = knn_measured
+        assert measured.measured_packet_seconds() > 0
+
+    def test_calibration_at_least_one(self, knn_measured):
+        _app, _wl, measured = knn_measured
+        assert calibrate_net_scale(measured) >= 1.0
+
+    def test_simulation_of_measured_run(self, knn_measured):
+        _app, _wl, measured = knn_measured
+        env1 = cluster_config(1)
+        env4 = cluster_config(4)
+        scale = calibrate_net_scale(measured)
+        t1 = simulate_measured(measured, env1, scale).makespan
+        t4 = simulate_measured(measured, env4, scale).makespan
+        assert t4 <= t1
+
+    def test_manual_version_measured(self):
+        app = make_knn_app(k=3)
+        workload = app.make_workload(n_points=2000, num_packets=4)
+        measured = measure_version(app, workload, "Decomp-Manual")
+        assert measured.correct
+
+    def test_unknown_version_rejected(self):
+        app = make_knn_app(k=3)
+        workload = app.make_workload(n_points=1000, num_packets=2)
+        with pytest.raises(ValueError, match="unknown version"):
+            measure_version(app, workload, "Nonsense")
+
+
+class TestRunExperiment:
+    def test_full_experiment_and_formatting(self):
+        app = make_knn_app(k=3)
+        workload = app.make_workload(n_points=3000, num_packets=5)
+        results = run_experiment(
+            app,
+            workload,
+            ["Default", "Decomp-Comp"],
+            configs={"1-1-1": cluster_config(1), "2-2-1": cluster_config(2)},
+        )
+        assert set(results) == {"Default", "Decomp-Comp"}
+        for vt in results.values():
+            assert vt.correct
+            assert set(vt.times) == {"1-1-1", "2-2-1"}
+        table = format_results("test", results, ["1-1-1", "2-2-1"])
+        assert "Decomp-Comp" in table and "1-1-1" in table
+
+    def test_version_times_speedup(self):
+        vt = VersionTimes("x", times={"a": 2.0, "b": 1.0})
+        assert vt.speedup("a", "b") == 2.0

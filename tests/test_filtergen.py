@@ -1,0 +1,192 @@
+"""Filter-generation tests (§5): per-unit fusion, relay re-packing,
+FINAL-buffer merging, plan invariance of results."""
+
+import numpy as np
+import pytest
+
+from repro import CompileOptions, WorkloadProfile, compile_source
+from repro.codegen import RawPacket
+from repro.cost import cluster_config, make_pipeline
+from repro.datacutter import run_pipeline
+from repro.decompose import DecompositionPlan, enumerate_plans
+from repro.lang import Intrinsic, IntrinsicRegistry, OpCount
+from repro.lang.types import DOUBLE, ArrayType
+
+SOURCE = """
+native Rectdomain<1, Item> read_items();
+native double[] scale_up(double[] data, double s);
+native void display(Tracker t);
+
+class Item { double key; double[] data; }
+
+class Tracker implements Reducinterface {
+    double[] acc;
+    void observe(double[] v) { return; }
+    void merge(Tracker other) { return; }
+}
+
+class Main {
+    void run(double s, double cutoff) {
+        runtime_define int num_packets;
+        Rectdomain<1, Item> items = read_items();
+        Tracker result = new Tracker();
+        PipelinedLoop (p in items) {
+            Tracker local = new Tracker();
+            foreach (item in p) {
+                if (item.key < cutoff) {
+                    double[] v = scale_up(item.data, s);
+                    local.observe(v);
+                }
+            }
+            result.merge(local);
+        }
+        display(result);
+    }
+}
+"""
+
+
+class Tracker:
+    def __init__(self):
+        self.acc = np.zeros(1)
+
+    def observe(self, v):
+        self.acc[0] += float(np.sum(v))
+
+    def merge(self, other):
+        self.acc[0] += other.acc[0]
+
+    def pack(self):
+        return {"acc": self.acc.copy()}
+
+    @classmethod
+    def unpack(cls, packed):
+        obj = cls()
+        obj.acc = packed["acc"].copy()
+        return obj
+
+
+def registry():
+    da = ArrayType(DOUBLE)
+    return IntrinsicRegistry(
+        [
+            Intrinsic("read_items", (), None, fn=lambda: None, writes=("return",)),
+            Intrinsic(
+                "scale_up",
+                (da, DOUBLE),
+                da,
+                fn=lambda d, s: np.asarray(d) * s,
+                reads=("data", "s"),
+                writes=("return",),
+                cost=lambda p: OpCount(flops=4),
+            ),
+            Intrinsic("display", (), None, fn=lambda t: None, reads=("t",), writes=()),
+        ]
+    )
+
+
+def make_packets(num_packets=4, size=50, seed=9):
+    rng = np.random.default_rng(seed)
+    out = []
+    for _ in range(num_packets):
+        out.append(
+            RawPacket(
+                count=size,
+                fields={
+                    "key": rng.uniform(0, 1, size),
+                    "data": rng.uniform(0, 1, (size, 3)),
+                },
+            )
+        )
+    return out
+
+
+def oracle(packets, s, cutoff):
+    total = 0.0
+    for pk in packets:
+        mask = pk.fields["key"] < cutoff
+        total += pk.fields["data"][mask].sum() * s
+    return total
+
+
+def options(m=3):
+    env = cluster_config(1) if m == 3 else make_pipeline([250e6] * m, [125e6] * (m - 1))
+    return CompileOptions(
+        env=env,
+        profile=WorkloadProfile(
+            {"num_packets": 4, "packet_size": 50, "sel.g0": 0.4, "Item.data": 3}
+        ),
+        size_hints={"Item.data": 3, "v": 3},
+        runtime_classes={"Tracker": Tracker},
+    )
+
+
+def run_with_plan(plan=None, m=3, widths=None):
+    result = compile_source(SOURCE, registry(), options(m), plan=plan)
+    packets = make_packets()
+    params = {"s": 2.0, "cutoff": 0.5, "num_packets": 4}
+    specs = result.pipeline.specs(packets, params, widths=widths)
+    out = run_pipeline(specs)
+    got = out.payloads[-1]["result"].acc[0]
+    expect = oracle(packets, 2.0, 0.5)
+    return got, expect, result
+
+
+class TestPlanInvariance:
+    def test_every_plan_gives_the_same_answer(self):
+        """The decomposition choice must never change the result — run the
+        program under every possible 3-unit placement."""
+        _, _, base = run_with_plan()
+        n1 = len(base.chain.atoms)
+        for plan in enumerate_plans(n1, 3):
+            got, expect, _ = run_with_plan(plan=plan)
+            assert got == pytest.approx(expect, rel=1e-12), f"plan {plan} wrong"
+
+    def test_two_and_four_unit_pipelines(self):
+        for m in (2, 4):
+            got, expect, result = run_with_plan(m=m)
+            assert len(result.pipeline.filters) == m
+            assert got == pytest.approx(expect, rel=1e-12)
+
+    def test_single_unit_pipeline(self):
+        got, expect, result = run_with_plan(m=1)
+        assert len(result.pipeline.filters) == 1
+        assert got == pytest.approx(expect, rel=1e-12)
+
+
+class TestGeneratedStructure:
+    def test_relay_unit_repacks(self):
+        n1 = len(compile_source(SOURCE, registry(), options()).chain.atoms)
+        plan = DecompositionPlan.from_cuts([n1, n1], n1, 3)  # units 2,3 empty
+        got, expect, result = run_with_plan(plan=plan)
+        assert got == pytest.approx(expect)
+        relay_src = result.pipeline.filter_source(2)
+        assert "_unpack" in relay_src and "_pack" in relay_src
+
+    def test_empty_source_unit_forwards_raw(self):
+        n1 = len(compile_source(SOURCE, registry(), options()).chain.atoms)
+        plan = DecompositionPlan.from_cuts([0, n1], n1, 3)  # Default shape
+        got, expect, result = run_with_plan(plan=plan)
+        assert got == pytest.approx(expect)
+        src1 = result.pipeline.filter_source(1)
+        assert "forwarding loop" in src1
+
+    def test_guard_emitted_as_continue(self):
+        _, _, result = run_with_plan()
+        all_src = "\n".join(gf.source for gf in result.pipeline.filters)
+        assert "continue" in all_src
+        assert "item__key < cutoff" in all_src
+
+    def test_final_merge_across_copies(self):
+        """Transparent copies of the merging filter each hold a partial
+        result; the view filter combines the FINAL buffers."""
+        got, expect, result = run_with_plan(widths=[1, 2, 1])
+        assert got == pytest.approx(expect)
+
+    def test_fused_loop_single_pass(self):
+        """All element atoms on one unit fuse into one loop."""
+        n1 = len(compile_source(SOURCE, registry(), options()).chain.atoms)
+        plan = DecompositionPlan.from_cuts([n1, n1], n1, 3)
+        _, _, result = run_with_plan(plan=plan)
+        src1 = result.pipeline.filter_source(1)
+        assert src1.count("for _r in range(_n):") == 1

@@ -1,0 +1,140 @@
+"""End-to-end integration: compile each application from dialect source,
+run Default and DP-decomposed pipelines on the threaded runtime, and
+compare against the sequential oracle bit-for-bit."""
+
+import pytest
+
+from repro.apps import (
+    make_active_pixels_app,
+    make_knn_app,
+    make_vmscope_app,
+    make_zbuffer_app,
+)
+from repro.cost import cluster_config
+from repro.datacutter import run_pipeline
+from repro.experiments.harness import _specs_for_version
+
+
+def run_version(app, workload, version, env=None):
+    specs, result = _specs_for_version(
+        app, workload, version, env or cluster_config(1)
+    )
+    run = run_pipeline(specs)
+    finals = run.payloads[-1]
+    expected = workload.oracle()
+    assert workload.check(finals, expected), f"{app.name}/{version} wrong output"
+    return run, result
+
+
+@pytest.fixture(scope="module")
+def zbuffer_app():
+    app = make_zbuffer_app(width=48, height=48)
+    return app, app.make_workload(dataset="tiny", num_packets=4)
+
+
+@pytest.fixture(scope="module")
+def apixels_app():
+    app = make_active_pixels_app(width=48, height=48)
+    return app, app.make_workload(dataset="tiny", num_packets=4)
+
+
+@pytest.fixture(scope="module")
+def knn_app():
+    app = make_knn_app(k=5)
+    return app, app.make_workload(n_points=4000, num_packets=5)
+
+
+@pytest.fixture(scope="module")
+def vm_app():
+    app = make_vmscope_app(image_w=256, image_h=256, tile=64)
+    return app, app.make_workload(query="large", num_packets=4)
+
+
+class TestCompiledPipelines:
+    def test_zbuffer_decomp(self, zbuffer_app):
+        run, result = run_version(*zbuffer_app, "Decomp-Comp")
+        assert result.plan is not None
+
+    def test_zbuffer_default(self, zbuffer_app):
+        run_version(*zbuffer_app, "Default")
+
+    def test_zbuffer_default_ships_more(self, zbuffer_app):
+        run_dec, _ = run_version(*zbuffer_app, "Decomp-Comp")
+        run_def, _ = run_version(*zbuffer_app, "Default")
+        link1 = lambda run: sum(
+            v for k, v in run.stream_bytes.items() if "unit1->" in k
+        )
+        assert link1(run_def) > link1(run_dec)
+
+    def test_apixels_decomp(self, apixels_app):
+        run_version(*apixels_app, "Decomp-Comp")
+
+    def test_apixels_default(self, apixels_app):
+        run_version(*apixels_app, "Default")
+
+    def test_knn_all_versions(self, knn_app):
+        for version in ("Default", "Decomp-Comp", "Decomp-Manual"):
+            run_version(*knn_app, version)
+
+    def test_vmscope_all_versions(self, vm_app):
+        for version in ("Default", "Decomp-Comp", "Decomp-Manual"):
+            run_version(*vm_app, version)
+
+    def test_vmscope_small_query(self):
+        app = make_vmscope_app(image_w=256, image_h=256, tile=64)
+        workload = app.make_workload(query="small", num_packets=4)
+        run_version(app, workload, "Decomp-Comp")
+
+    def test_decomp_correct_on_wider_env(self, knn_app):
+        """Compiling against 4-4-1 still runs correctly."""
+        run_version(*knn_app, "Decomp-Comp", env=cluster_config(4))
+
+    def test_generated_sources_are_inspectable(self, zbuffer_app):
+        app, workload = zbuffer_app
+        specs, result = _specs_for_version(
+            app, workload, "Decomp-Comp", cluster_config(1)
+        )
+        sources = [gf.source for gf in result.pipeline.filters]
+        assert len(sources) == 3
+        assert any("def generate" in s for s in sources)
+        assert any("_unpack" in s or "relay" in s or "view" in s for s in sources)
+
+    def test_report_renders(self, zbuffer_app):
+        app, workload = zbuffer_app
+        _, result = _specs_for_version(
+            app, workload, "Decomp-Comp", cluster_config(1)
+        )
+        report = result.report()
+        assert "plan:" in report and "volumes" in report
+
+
+class TestPacketCountInvariance:
+    @pytest.mark.parametrize("num_packets", [1, 3, 8])
+    def test_knn_result_independent_of_packetization(self, num_packets):
+        app = make_knn_app(k=4)
+        workload = app.make_workload(n_points=3000, num_packets=num_packets)
+        run_version(app, workload, "Decomp-Comp")
+
+    @pytest.mark.parametrize("num_packets", [1, 4])
+    def test_zbuffer_result_independent_of_packetization(self, num_packets):
+        app = make_zbuffer_app(width=32, height=32)
+        workload = app.make_workload(dataset="tiny", num_packets=num_packets)
+        run_version(app, workload, "Decomp-Comp")
+
+
+class TestTransparentCopies:
+    def test_compiled_pipeline_with_copies(self):
+        """Width >1 on the compute stage must not change the answer."""
+        app = make_knn_app(k=3)
+        workload = app.make_workload(n_points=3000, num_packets=6)
+        specs, _ = _specs_for_version(
+            app, workload, "Decomp-Comp", cluster_config(1)
+        )
+        widened = []
+        for spec in specs:
+            width = 2 if 0 < spec.placement < 2 else 1
+            spec.width = width
+            widened.append(spec)
+        run = run_pipeline(widened)
+        finals = run.payloads[-1]
+        assert workload.check(finals, workload.oracle())

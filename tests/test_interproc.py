@@ -1,0 +1,179 @@
+"""Interprocedural analysis tests (§4.2): renaming, context sensitivity,
+intrinsic summaries, recursion fallback."""
+
+import pytest
+
+from repro.analysis import GenConsAnalyzer
+from repro.lang import Intrinsic, IntrinsicRegistry, check, parse
+from repro.lang.types import DOUBLE, ArrayType
+
+
+def analyze(source: str, registry=None, method="f"):
+    checked = check(parse(source), registry)
+    meth = checked.program.find_method(method)
+    analyzer = GenConsAnalyzer(checked)
+    return analyzer.analyze(list(meth.body.body)), checked
+
+
+def names(ps):
+    return {repr(p) for p in ps}
+
+
+class TestDialectMethods:
+    def test_formal_to_actual_renaming(self):
+        facts, _ = analyze(
+            """
+            class H { double twice(double x) { return x + x; } }
+            class M { void f(double q) { double r = twice(q); } }
+            """
+        )
+        assert "q" in names(facts.cons)
+
+    def test_receiver_field_renaming(self):
+        facts, _ = analyze(
+            """
+            class Box {
+                double v;
+                double get() { return v; }
+                void set(double x) { v = x; }
+            }
+            class M {
+                void f(Box b) {
+                    b.set(1.0);
+                    double r = b.get();
+                }
+            }
+            """
+        )
+        # set definitely writes b.v; get's read is satisfied locally
+        assert "b.v" in names(facts.gen)
+        assert "b.v" not in names(facts.cons)
+
+    def test_context_sensitive_two_call_sites(self):
+        facts, _ = analyze(
+            """
+            class H { double pick(E e) { return e.v; } }
+            class E { double v; }
+            class M {
+                void f(E e1, E e2) {
+                    double a = pick(e1);
+                    double b = pick(e2);
+                }
+            }
+            """
+        )
+        assert {"e1.v", "e2.v"} <= names(facts.cons)
+
+    def test_array_section_substitution(self):
+        facts, _ = analyze(
+            """
+            class H {
+                double at(double[] a, int i) { return a[i]; }
+            }
+            class M {
+                void f(double[] xs, int k) { double r = at(xs, k); }
+            }
+            """
+        )
+        assert any(n.startswith("xs[") for n in names(facts.cons))
+
+    def test_recursion_degrades_conservatively(self):
+        facts, _ = analyze(
+            """
+            class H {
+                double rec(double x) { return rec(x - 1.0); }
+            }
+            class M { void f(double q) { double r = rec(q); } }
+            """
+        )
+        assert "q" in names(facts.cons)
+
+    def test_unqualified_call_touching_fields_rejected(self):
+        from repro.lang.errors import AnalysisError
+
+        with pytest.raises(AnalysisError, match="without a receiver"):
+            analyze(
+                """
+                class H { double state; double bump() { state = state + 1.0; return state; } }
+                class M { void f() { double r = bump(); } }
+                """
+            )
+
+
+class TestIntrinsicSummaries:
+    def make_registry(self):
+        return IntrinsicRegistry(
+            [
+                Intrinsic(
+                    "extract",
+                    (ArrayType(DOUBLE), DOUBLE),
+                    ArrayType(DOUBLE),
+                    fn=lambda v, s: v,
+                    reads=("vals", "iso"),
+                    writes=("return",),
+                ),
+                Intrinsic(
+                    "fill",
+                    (ArrayType(DOUBLE),),
+                    None,
+                    fn=lambda out: None,
+                    reads=(),
+                    writes=("out",),
+                ),
+            ]
+        )
+
+    def test_summary_reads_renamed(self):
+        source = """
+        native double[] extract(double[] vals, double iso);
+        class E { double[] data; }
+        class M { void f(E e, double iso) { double[] t = extract(e.data, iso); } }
+        """
+        facts, _ = analyze(source, self.make_registry())
+        assert "e.data" in names(facts.cons)
+        assert "iso" in names(facts.cons)
+
+    def test_summary_writes_are_definitions(self):
+        source = """
+        native void fill(double[] out);
+        class M {
+            void f(double[] buf) {
+                fill(buf);
+                double z = buf[0];
+            }
+        }
+        """
+        facts, _ = analyze(source, self.make_registry())
+        assert "buf" in names(facts.gen)
+        assert not any(n.startswith("buf") for n in names(facts.cons))
+
+    def test_missing_summary_is_conservative(self):
+        source = """
+        native double[] extract(double[] vals, double iso);
+        class E { double[] data; }
+        class M { void f(E e, double iso) { double[] t = extract(e.data, iso); } }
+        """
+        facts, _ = analyze(source, registry=None)
+        assert "e.data" in names(facts.cons)
+
+    def test_field_subpath_summary(self):
+        registry = IntrinsicRegistry(
+            [
+                Intrinsic(
+                    "probe",
+                    (),
+                    DOUBLE,
+                    fn=lambda c: 0.0,
+                    reads=("c.minval",),
+                    writes=("return",),
+                )
+            ]
+        )
+        source = """
+        native double probe(E c);
+        class E { double minval; double maxval; }
+        class M { void f(E e) { double r = probe(e); } }
+        """
+        facts, _ = analyze(source, registry)
+        assert "e.minval" in names(facts.cons)
+        assert "e.maxval" not in names(facts.cons)

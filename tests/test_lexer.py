@@ -1,0 +1,144 @@
+"""Lexer unit tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.lang.errors import LexError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokKind
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)][:-1]  # drop EOF
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)][:-1]
+
+
+class TestBasics:
+    def test_empty_source_yields_only_eof(self):
+        toks = tokenize("")
+        assert len(toks) == 1
+        assert toks[0].kind is TokKind.EOF
+
+    def test_identifiers_and_keywords(self):
+        assert kinds("foo class foreach PipelinedLoop Rectdomain") == [
+            TokKind.IDENT,
+            TokKind.KW_CLASS,
+            TokKind.KW_FOREACH,
+            TokKind.KW_PIPELINED,
+            TokKind.KW_RECTDOMAIN,
+        ]
+
+    def test_keyword_prefix_is_identifier(self):
+        assert kinds("classy foreachx") == [TokKind.IDENT, TokKind.IDENT]
+
+    def test_runtime_define_keyword(self):
+        assert kinds("runtime_define int n;") == [
+            TokKind.KW_RUNTIME_DEFINE,
+            TokKind.KW_INT,
+            TokKind.IDENT,
+            TokKind.SEMI,
+        ]
+
+    def test_integer_literals(self):
+        toks = tokenize("0 42 123456")
+        assert [t.kind for t in toks[:-1]] == [TokKind.INT] * 3
+        assert [t.text for t in toks[:-1]] == ["0", "42", "123456"]
+
+    def test_float_literals(self):
+        assert kinds("3.14 1e10 2.5e-3 7E+2") == [TokKind.FLOAT] * 4
+
+    def test_int_followed_by_dot_method(self):
+        # '5.x' must not parse as a float
+        assert kinds("v[5].x") == [
+            TokKind.IDENT,
+            TokKind.LBRACKET,
+            TokKind.INT,
+            TokKind.RBRACKET,
+            TokKind.DOT,
+            TokKind.IDENT,
+        ]
+
+    def test_string_literal_with_escapes(self):
+        toks = tokenize(r'"a\nb\t\"c\\"')
+        assert toks[0].kind is TokKind.STRING
+        assert toks[0].text == 'a\nb\t"c\\'
+
+    def test_operators_two_char_before_one_char(self):
+        assert kinds("<= < == = != ! &&")[:6] == [
+            TokKind.LE,
+            TokKind.LT,
+            TokKind.EQ,
+            TokKind.ASSIGN,
+            TokKind.NE,
+            TokKind.NOT,
+        ]
+
+    def test_compound_assignment_tokens(self):
+        assert kinds("+= -= *= /=") == [
+            TokKind.PLUS_ASSIGN,
+            TokKind.MINUS_ASSIGN,
+            TokKind.STAR_ASSIGN,
+            TokKind.SLASH_ASSIGN,
+        ]
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("a // comment with , ; tokens\nb") == [
+            TokKind.IDENT,
+            TokKind.IDENT,
+        ]
+
+    def test_block_comment(self):
+        assert kinds("a /* span\nmultiple\nlines */ b") == [
+            TokKind.IDENT,
+            TokKind.IDENT,
+        ]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError, match="unterminated"):
+            tokenize("a /* never closed")
+
+
+class TestErrorsAndSpans:
+    def test_unknown_character(self):
+        with pytest.raises(LexError, match="unexpected character"):
+            tokenize("a $ b")
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError, match="unterminated string"):
+            tokenize('"abc')
+
+    def test_newline_in_string(self):
+        with pytest.raises(LexError, match="newline in string"):
+            tokenize('"ab\ncd"')
+
+    def test_spans_track_lines_and_columns(self):
+        toks = tokenize("ab\n  cd")
+        assert (toks[0].span.line, toks[0].span.col) == (1, 1)
+        assert (toks[1].span.line, toks[1].span.col) == (2, 3)
+
+    def test_span_end_column(self):
+        tok = tokenize("hello")[0]
+        assert tok.span.end_col == 6
+
+
+@given(
+    st.lists(
+        st.one_of(
+            st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True),
+            st.integers(min_value=0, max_value=10**9).map(str),
+            st.sampled_from(["+", "-", "*", "/", "(", ")", "{", "}", ";", "<=", "=="]),
+        ),
+        min_size=0,
+        max_size=40,
+    )
+)
+def test_lexer_roundtrip_token_texts(parts):
+    """Lexing space-joined tokens reproduces exactly those token texts."""
+    source = " ".join(parts)
+    toks = tokenize(source)
+    assert [t.text for t in toks[:-1]] == parts

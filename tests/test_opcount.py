@@ -1,0 +1,173 @@
+"""Operation-counting tests (§4.3)."""
+
+import pytest
+
+from repro.analysis import OpCounter, WorkloadProfile, build_filter_chain
+from repro.lang import Intrinsic, IntrinsicRegistry, OpCount, check, parse
+from repro.lang.types import DOUBLE
+
+
+def counter_for(source: str, registry=None, method="f", method_costs=None):
+    checked = check(parse(source), registry)
+    meth = checked.program.find_method(method)
+    return OpCounter(checked, method_costs=method_costs or {}), meth
+
+
+def count_body(body: str, params: str = "", profile=None, registry=None,
+               prelude: str = ""):
+    counter, meth = counter_for(
+        prelude + "class M { void f(%s) { %s } }" % (params, body), registry
+    )
+    profile = profile or WorkloadProfile({})
+    total = OpCount()
+    for stmt in meth.body.body:
+        total = total + counter.stmt_ops(stmt, profile)
+    return total
+
+
+class TestExpressionCounting:
+    def test_float_ops_are_flops(self):
+        ops = count_body("double z = x * y + 1.0;", params="double x, double y")
+        assert ops.flops == 2 and ops.iops == 0
+
+    def test_int_ops_are_iops(self):
+        ops = count_body("int z = a * b + 1;", params="int a, int b")
+        assert ops.iops == 2 and ops.flops == 0
+
+    def test_comparisons_are_branches(self):
+        ops = count_body(
+            "boolean z = a < b && c >= d;",
+            params="double a, double b, double c, double d",
+        )
+        assert ops.branches == 3  # two compares + one &&
+
+    def test_index_costs_an_iop(self):
+        ops = count_body("double z = v[3];", params="double[] v")
+        assert ops.iops == 1
+
+    def test_compound_assignment_counts_op(self):
+        ops = count_body("x += 1.0;", params="double x")
+        assert ops.flops == 1
+
+
+class TestStatementCounting:
+    def test_if_averages_branches(self):
+        ops = count_body(
+            "if (c) { x = x + 1.0; } else { }",
+            params="boolean c, double x",
+        )
+        # 1 branch + half the then-arm's flop
+        assert ops.branches == 1
+        assert ops.flops == pytest.approx(0.5)
+
+    def test_counted_for_multiplies(self):
+        ops = count_body(
+            "double s = 0.0; for (int i = 0; i < 10; i = i + 1) { s = s + 1.0; }"
+        )
+        assert ops.flops == pytest.approx(10.0)
+
+    def test_symbolic_bound_uses_profile(self):
+        ops = count_body(
+            "double s = 0.0; for (int i = 0; i < n; i = i + 1) { s = s + 1.0; }",
+            params="int n",
+            profile=WorkloadProfile({"n": 32.0}),
+        )
+        assert ops.flops == pytest.approx(32.0)
+
+    def test_while_uses_default_trip(self):
+        ops = count_body(
+            "while (x > 0.0) { x = x - 1.0; }",
+            params="double x",
+            profile=WorkloadProfile({"loop.default_trip": 5.0}),
+        )
+        assert ops.flops == pytest.approx(5.0)
+
+
+class TestCallsAndAtoms:
+    PRELUDE = """
+    native Rectdomain<1, E> read();
+    native double[] work(double[] v);
+    class E { double key; double[] data; }
+    class Acc implements Reducinterface {
+        double[] t;
+        void add(double[] v) { return; }
+        void merge(Acc o) { return; }
+    }
+    class Helper { double h(double x) { return x * x + 1.0; } }
+    """
+
+    def test_intrinsic_cost_model_used(self):
+        registry = IntrinsicRegistry(
+            [
+                Intrinsic(
+                    "work",
+                    (),
+                    None,
+                    fn=None,
+                    cost=lambda p: OpCount(flops=100 * p.get("scale", 1.0)),
+                )
+            ]
+        )
+        ops = count_body(
+            "double[] r = work(v);",
+            params="double[] v",
+            registry=registry,
+            prelude="native double[] work(double[] v);\n",
+            profile=WorkloadProfile({"scale": 2.0}),
+        )
+        assert ops.flops == pytest.approx(200.0)
+
+    def test_dialect_method_body_counted(self):
+        ops = count_body(
+            "double r = h(3.0);",
+            prelude="class Helper { double h(double x) { return x * x + 1.0; } }\n",
+        )
+        assert ops.flops == 2
+
+    def test_method_cost_override(self):
+        source = (
+            self.PRELUDE
+            + "class M { void f(Acc a, double[] v) { a.add(v); } }"
+        )
+        counter, meth = counter_for(
+            source,
+            method_costs={"Acc.add": lambda p: OpCount(iops=42)},
+        )
+        ops = counter.stmt_ops(meth.body.body[0], WorkloadProfile({}))
+        assert ops.iops == 42
+
+    def test_element_atom_scaled_by_cardinality(self):
+        source = (
+            self.PRELUDE
+            + """
+        class M {
+            void f(double cutoff) {
+                Rectdomain<1, E> d = read();
+                Acc result = new Acc();
+                PipelinedLoop (p in d) {
+                    Acc local = new Acc();
+                    foreach (e in p) {
+                        if (e.key < cutoff) {
+                            double z = e.key * 2.0;
+                        }
+                    }
+                    result.merge(local);
+                }
+            }
+        }
+        """
+        )
+        checked = check(parse(source))
+        meth, loop = checked.pipelined_loops()[0]
+        chain = build_filter_chain(checked, meth, loop)
+        counter = OpCounter(checked)
+        profile = WorkloadProfile({"packet_size": 100.0, "sel.g0": 0.25})
+        guard = next(a for a in chain.atoms if a.guard is not None)
+        after = next(
+            a for a in chain.atoms if a.kind == "element" and a.applied_guards
+        )
+        guard_ops = counter.atom_ops(guard, profile)
+        after_ops = counter.atom_ops(after, profile)
+        # guard runs on all 100 records; the next stage only on 25
+        assert guard_ops.branches >= 100
+        assert after_ops.flops == pytest.approx(25.0)

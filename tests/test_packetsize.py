@@ -1,0 +1,105 @@
+"""Automatic packet-count selection tests (§8 future work) plus
+heterogeneous-environment decomposition behaviour."""
+
+import pytest
+
+from repro import CompileOptions, WorkloadProfile
+from repro.apps import make_knn_app, make_zbuffer_app
+from repro.core.compiler import analyze_source, compute_problem, decompose
+from repro.core.packetsize import choose_packet_count
+from repro.cost import cluster_config, make_pipeline
+
+
+@pytest.fixture(scope="module")
+def knn_analysis():
+    app = make_knn_app(k=3)
+    workload = app.make_workload(n_points=40_000, num_packets=8)
+    checked, chain, comm = analyze_source(app.source, app.registry)
+    return app, workload, chain, comm
+
+
+class TestPacketCountSelection:
+    def options(self, app, workload, env=None):
+        return CompileOptions(
+            env=env or cluster_config(2),
+            profile=workload.profile,
+            size_hints=dict(app.size_hints),
+            method_costs=dict(app.method_costs),
+        )
+
+    def test_sweep_prefers_pipelining(self, knn_analysis):
+        app, workload, chain, comm = knn_analysis
+        result = choose_packet_count(chain, comm, self.options(app, workload))
+        assert result.best > 1, "one packet cannot pipeline"
+        assert result.estimates[result.best] < result.estimates[1]
+
+    def test_total_elements_held_fixed(self, knn_analysis):
+        app, workload, chain, comm = knn_analysis
+        result = choose_packet_count(
+            chain, comm, self.options(app, workload), candidates=[2, 8]
+        )
+        assert set(result.estimates) == {2, 8}
+
+    def test_infeasible_candidates_skipped(self, knn_analysis):
+        app, workload, chain, comm = knn_analysis
+        opts = self.options(app, workload)
+        result = choose_packet_count(
+            chain, comm, opts, candidates=[0, 4, 10**9]
+        )
+        assert list(result.estimates) == [4]
+
+    def test_no_candidates_rejected(self, knn_analysis):
+        app, workload, chain, comm = knn_analysis
+        with pytest.raises(ValueError, match="no feasible"):
+            choose_packet_count(
+                chain, comm, self.options(app, workload), candidates=[0]
+            )
+
+    def test_plans_recorded(self, knn_analysis):
+        app, workload, chain, comm = knn_analysis
+        result = choose_packet_count(
+            chain, comm, self.options(app, workload), candidates=[4, 16]
+        )
+        assert set(result.plans) == {4, 16}
+        assert all("|" in plan for plan in result.plans.values())
+
+
+class TestHeterogeneousEnvironments:
+    """§4.3 allows per-unit powers; the DP must respond to them (the paper
+    used homogeneous Pentiums, so this extends the evaluation)."""
+
+    def _plan_for(self, powers, bandwidths):
+        app = make_zbuffer_app()
+        workload = app.make_workload(dataset="tiny", num_packets=4)
+        checked, chain, comm = analyze_source(app.source, app.registry)
+        options = CompileOptions(
+            env=make_pipeline(powers, bandwidths),
+            profile=workload.profile,
+            size_hints=dict(app.size_hints),
+            method_costs=dict(app.method_costs),
+        )
+        _t, _v, problem = compute_problem(chain, comm, options)
+        plan, _cost = decompose(problem, options)
+        return plan, problem
+
+    def test_weak_data_node_pushes_work_downstream(self):
+        weak, _ = self._plan_for([1e6, 500e6, 500e6], [125e6, 125e6])
+        strong, _ = self._plan_for([500e6, 1e6, 1e6], [125e6, 125e6])
+        weak_on_1 = len(weak.filters_on_unit(1))
+        strong_on_1 = len(strong.filters_on_unit(1))
+        assert weak_on_1 < strong_on_1
+
+    def test_slow_links_cut_at_minimum_volume(self):
+        """With near-dead links the result must still reach the view node,
+        so the DP minimizes total bytes moved: it cuts at the chain's
+        minimum-volume boundary instead of dragging the (large) final
+        z-buffer across both links."""
+        from repro.decompose import DecompositionPlan
+
+        plan, problem = self._plan_for([250e6, 250e6, 250e6], [1e3, 1e3])
+        n1 = problem.n_filters
+        all_on_1 = DecompositionPlan(tuple([1] * n1), 3)
+        assert problem.evaluate(plan) < problem.evaluate(all_on_1)
+        # the chosen crossing is the global minimum-volume boundary
+        crossing = plan.last_filter_before_link(1)
+        assert problem.vols[crossing] == min(problem.vols[1:n1])

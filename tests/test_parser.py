@@ -1,0 +1,199 @@
+"""Parser unit tests: grammar coverage and error reporting."""
+
+import pytest
+
+from repro.lang import ast, parse
+from repro.lang.errors import ParseError
+
+
+def parse_stmts(body: str) -> list[ast.Stmt]:
+    program = parse("class T { void m() { %s } }" % body)
+    return program.classes[0].methods[0].body.body
+
+
+def parse_expr(text: str) -> ast.Expr:
+    stmt = parse_stmts(f"x = {text};")[0]
+    assert isinstance(stmt, ast.Assign)
+    return stmt.value
+
+
+class TestDeclarations:
+    def test_empty_class(self):
+        program = parse("class A { }")
+        assert program.classes[0].name == "A"
+        assert program.classes[0].fields == []
+        assert program.classes[0].methods == []
+
+    def test_implements_reducinterface(self):
+        program = parse("class A implements Reducinterface { }")
+        assert program.classes[0].is_reduction
+
+    def test_fields_with_types_and_arrays(self):
+        program = parse("class A { int n; double[] xs; boolean f; A next; }")
+        fields = program.classes[0].fields
+        assert [f.name for f in fields] == ["n", "xs", "f", "next"]
+        assert fields[1].decl_type.array_depth == 1
+
+    def test_comma_separated_fields(self):
+        program = parse("class A { double x, y, z; }")
+        assert [f.name for f in program.classes[0].fields] == ["x", "y", "z"]
+
+    def test_method_with_params(self):
+        program = parse("class A { double f(int n, double[] v) { return 0.0; } }")
+        method = program.classes[0].methods[0]
+        assert method.name == "f"
+        assert [p.name for p in method.params] == ["n", "v"]
+        assert method.owner == "A"
+
+    def test_native_declaration(self):
+        program = parse("native double[] work(Cube c, double iso);")
+        nat = program.natives[0]
+        assert nat.name == "work"
+        assert nat.ret_type.array_depth == 1
+
+    def test_rectdomain_type(self):
+        program = parse("native Rectdomain<1, Cube> read();")
+        t = program.natives[0].ret_type
+        assert t.name == "Rectdomain" and t.dim == 1 and t.elem == "Cube"
+
+    def test_top_level_junk_rejected(self):
+        with pytest.raises(ParseError, match="expected 'class' or 'native'"):
+            parse("int x;")
+
+
+class TestStatements:
+    def test_var_decl_with_init(self):
+        (stmt,) = parse_stmts("int x = 3;")
+        assert isinstance(stmt, ast.VarDecl)
+        assert stmt.name == "x" and isinstance(stmt.init, ast.IntLit)
+
+    def test_runtime_define(self):
+        (stmt,) = parse_stmts("runtime_define int n;")
+        assert isinstance(stmt, ast.VarDecl) and stmt.runtime_define
+
+    def test_assignment_and_compound(self):
+        stmts = parse_stmts("x = 1; x += 2; x[0] -= 3;")
+        assert [s.op for s in stmts] == ["", "+", "-"]
+
+    def test_invalid_assignment_target(self):
+        with pytest.raises(ParseError, match="invalid assignment target"):
+            parse_stmts("f() = 3;")
+
+    def test_if_else_normalized_to_blocks(self):
+        (stmt,) = parse_stmts("if (x < 1) y = 1; else y = 2;")
+        assert isinstance(stmt, ast.If)
+        assert isinstance(stmt.then, ast.Block) and isinstance(stmt.other, ast.Block)
+
+    def test_while_loop(self):
+        (stmt,) = parse_stmts("while (x < 10) x = x + 1;")
+        assert isinstance(stmt, ast.While)
+
+    def test_for_loop_full_header(self):
+        (stmt,) = parse_stmts("for (int i = 0; i < 10; i = i + 1) x = x + i;")
+        assert isinstance(stmt, ast.For)
+        assert isinstance(stmt.init, ast.VarDecl)
+        assert isinstance(stmt.update, ast.Assign)
+
+    def test_for_loop_empty_clauses(self):
+        (stmt,) = parse_stmts("for (;;) break;")
+        assert isinstance(stmt, ast.For)
+        assert stmt.init is None and stmt.cond is None and stmt.update is None
+
+    def test_foreach(self):
+        (stmt,) = parse_stmts("foreach (c in p) { x = c.v; }")
+        assert isinstance(stmt, ast.Foreach)
+        assert stmt.var == "c"
+
+    def test_pipelined_loop(self):
+        (stmt,) = parse_stmts("PipelinedLoop (p in cubes) { x = 1; }")
+        assert isinstance(stmt, ast.PipelinedLoop)
+        assert stmt.var == "p"
+
+    def test_return_break_continue(self):
+        stmts = parse_stmts("return 1; break; continue; return;")
+        assert isinstance(stmts[0], ast.Return) and stmts[0].value is not None
+        assert isinstance(stmts[1], ast.Break)
+        assert isinstance(stmts[2], ast.Continue)
+        assert isinstance(stmts[3], ast.Return) and stmts[3].value is None
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError, match="';'"):
+            parse_stmts("x = 1 y = 2;")
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr("a + b * c")
+        assert isinstance(expr, ast.Binary) and expr.op == "+"
+        assert isinstance(expr.right, ast.Binary) and expr.right.op == "*"
+
+    def test_precedence_cmp_over_and(self):
+        expr = parse_expr("a < b && c >= d")
+        assert expr.op == "&&"
+        assert expr.left.op == "<" and expr.right.op == ">="
+
+    def test_left_associativity(self):
+        expr = parse_expr("a - b - c")
+        assert expr.op == "-" and expr.left.op == "-"
+        assert expr.left.left.ident == "a"
+
+    def test_parentheses_override(self):
+        expr = parse_expr("a * (b + c)")
+        assert expr.op == "*" and expr.right.op == "+"
+
+    def test_unary_chain(self):
+        expr = parse_expr("- -x")
+        assert isinstance(expr, ast.Unary) and isinstance(expr.operand, ast.Unary)
+
+    def test_ternary(self):
+        expr = parse_expr("a < b ? c : d")
+        assert isinstance(expr, ast.Ternary)
+
+    def test_postfix_chain(self):
+        expr = parse_expr("a.b[i].c(x, y)")
+        assert isinstance(expr, ast.MethodCall) and expr.method == "c"
+        assert isinstance(expr.obj, ast.Index)
+        assert isinstance(expr.obj.obj, ast.FieldAccess)
+
+    def test_free_call(self):
+        expr = parse_expr("work(a, 2)")
+        assert isinstance(expr, ast.Call) and expr.func == "work"
+        assert len(expr.args) == 2
+
+    def test_new_object_and_array(self):
+        assert isinstance(parse_expr("new Foo()"), ast.New)
+        arr = parse_expr("new double[10]")
+        assert isinstance(arr, ast.NewArray)
+
+    def test_literals(self):
+        assert isinstance(parse_expr("true"), ast.BoolLit)
+        assert isinstance(parse_expr("null"), ast.NullLit)
+        assert isinstance(parse_expr("1.5"), ast.FloatLit)
+
+    def test_error_position_reported(self):
+        with pytest.raises(ParseError, match=r"2:"):
+            parse("class A {\n int = 3; }")
+
+
+class TestProgramHelpers:
+    def test_find_class_and_method(self):
+        program = parse("class A { void f() { } } class B { int g() { return 1; } }")
+        assert program.find_class("B").name == "B"
+        assert program.find_method("g").owner == "B"
+        assert program.find_class("missing") is None
+        assert program.find_method("missing") is None
+
+    def test_find_pipelined_loops_in_order(self):
+        program = parse(
+            """
+            class A {
+                void f(Rectdomain<1, E> d) {
+                    PipelinedLoop (p in d) { int x = 1; }
+                    PipelinedLoop (q in d) { int y = 2; }
+                }
+            }
+            class E { double v; }
+            """
+        )
+        loops = ast.find_pipelined_loops(program)
+        assert [loop.var for _m, loop in loops] == ["p", "q"]

@@ -1,0 +1,208 @@
+"""Dialect->Python translation tests: expression/statement semantics and
+generated runtime classes."""
+
+import numpy as np
+import pytest
+
+from repro.codegen.pygen import CodegenError, NameEnv, PyGen, generate_runtime_class
+from repro.lang import check, parse
+from repro.lang.types import VarSymbol
+
+
+def translate_method(source: str, method: str = "f"):
+    checked = check(parse(source))
+    meth = checked.program.find_method(method)
+    env = NameEnv(checked)
+    gen = PyGen(env)
+    args = []
+    for p in meth.params:
+        args.append(env.bind(p.symbol))
+    gen.emit(f"def {method}({', '.join(args)}):")
+    with gen.block():
+        gen.stmt(meth.body)
+    namespace = {"_np": np, "_intr": {}, "_RT": {}}
+    exec(compile(gen.source(), "<test>", "exec"), namespace)
+    return namespace[method], gen.source()
+
+
+class TestExpressionSemantics:
+    def test_arithmetic(self):
+        fn, _ = translate_method(
+            "class M { double f(double a, double b) { return a * b + a - b / 2.0; } }"
+        )
+        assert fn(3.0, 4.0) == pytest.approx(3 * 4 + 3 - 2)
+
+    def test_integer_division_truncates(self):
+        fn, src = translate_method(
+            "class M { int f(int a, int b) { return a / b; } }"
+        )
+        assert "//" in src
+        assert fn(7, 2) == 3
+
+    def test_float_division_stays_true(self):
+        fn, src = translate_method(
+            "class M { double f(double a, double b) { return a / b; } }"
+        )
+        assert fn(7.0, 2.0) == 3.5
+
+    def test_modulo(self):
+        fn, _ = translate_method("class M { int f(int a) { return a % 3; } }")
+        assert fn(10) == 1
+
+    def test_logical_short_circuit(self):
+        fn, src = translate_method(
+            "class M { boolean f(boolean a, boolean b) { return a && !b || a; } }"
+        )
+        assert " and " in src and " or " in src and "not " in src
+        assert fn(True, True) is True
+        assert fn(False, True) is False
+
+    def test_comparison_chain_parenthesized(self):
+        fn, _ = translate_method(
+            "class M { boolean f(double a, double b) { return a < b == true; } }"
+        )
+        # dialect parses (a < b) == true
+        assert fn(1.0, 2.0) is True
+
+    def test_ternary(self):
+        fn, _ = translate_method(
+            "class M { double f(double a) { return a > 0.0 ? a : -a; } }"
+        )
+        assert fn(-5.0) == 5.0
+
+    def test_array_ops(self):
+        fn, _ = translate_method(
+            """
+            class M {
+                double f(int n) {
+                    double[] a = new double[n];
+                    a[0] = 3.0;
+                    a[n - 1] = 4.0;
+                    return a[0] + a[n - 1] + a.length;
+                }
+            }
+            """
+        )
+        assert fn(5) == pytest.approx(3 + 4 + 5)
+
+
+class TestStatementSemantics:
+    def test_counted_for_becomes_range(self):
+        fn, src = translate_method(
+            """
+            class M {
+                int f(int n) {
+                    int total = 0;
+                    for (int i = 0; i < n; i = i + 1) { total += i; }
+                    return total;
+                }
+            }
+            """
+        )
+        assert "range(" in src
+        assert fn(5) == 10
+
+    def test_inclusive_bound_for(self):
+        fn, _ = translate_method(
+            """
+            class M {
+                int f(int n) {
+                    int t = 0;
+                    for (int i = 0; i <= n; i = i + 1) { t += 1; }
+                    return t;
+                }
+            }
+            """
+        )
+        assert fn(3) == 4
+
+    def test_general_for_becomes_while(self):
+        fn, src = translate_method(
+            """
+            class M {
+                int f(int n) {
+                    int t = 0;
+                    for (int i = n; i > 0; i = i / 2) { t += 1; }
+                    return t;
+                }
+            }
+            """
+        )
+        assert "while " in src
+        assert fn(8) == 4  # 8 -> 4 -> 2 -> 1
+
+    def test_while_with_break_continue(self):
+        fn, _ = translate_method(
+            """
+            class M {
+                int f(int n) {
+                    int i = 0;
+                    int t = 0;
+                    while (true) {
+                        i = i + 1;
+                        if (i > n) { break; }
+                        if (i % 2 == 0) { continue; }
+                        t += i;
+                    }
+                    return t;
+                }
+            }
+            """
+        )
+        assert fn(6) == 1 + 3 + 5
+
+    def test_uninitialized_decl_zeroed(self):
+        fn, _ = translate_method(
+            "class M { int f() { int x; return x + 1; } }"
+        )
+        assert fn() == 1
+
+
+class TestRuntimeClasses:
+    def test_fields_and_methods(self):
+        checked = check(
+            parse(
+                """
+                class Counter {
+                    double total;
+                    int hits;
+                    void bump(double x) { total = total + x; hits = hits + 1; }
+                    double mean() { return total / hits; }
+                }
+                """
+            )
+        )
+        src = generate_runtime_class(checked, "Counter")
+        ns = {"_np": np, "_intr": {}, "_RT": {}}
+        exec(compile(src, "<rt>", "exec"), ns)
+        counter = ns["Counter"]()
+        counter.bump(2.0)
+        counter.bump(4.0)
+        assert counter.hits == 2
+        assert counter.mean() == 3.0
+
+    def test_reduction_class_gets_pack_unpack(self):
+        checked = check(
+            parse(
+                """
+                class Acc implements Reducinterface {
+                    double[] total;
+                    void merge(Acc other) { return; }
+                }
+                """
+            )
+        )
+        src = generate_runtime_class(checked, "Acc")
+        ns = {"_np": np, "_intr": {}, "_RT": {}}
+        exec(compile(src, "<rt>", "exec"), ns)
+        acc = ns["Acc"]()
+        acc.total = np.array([1.0, 2.0])
+        clone = ns["Acc"].unpack(acc.pack())
+        assert np.array_equal(clone.total, acc.total)
+
+    def test_array_fields_zero_initialized(self):
+        checked = check(parse("class B { double[] xs; int n; }"))
+        ns = {"_np": np, "_intr": {}, "_RT": {}}
+        exec(compile(generate_runtime_class(checked, "B"), "<rt>", "exec"), ns)
+        b = ns["B"]()
+        assert len(b.xs) == 0 and b.n == 0

@@ -1,0 +1,197 @@
+"""ReqComm propagation and volume-model tests (§4.2-4.3), including the
+paper's boundary-dropping correctness argument as a property."""
+
+import pytest
+
+from repro.analysis import (
+    GenConsAnalyzer,
+    VolumeModel,
+    WorkloadProfile,
+    analyze_communication,
+    build_filter_chain,
+)
+from repro.lang import Intrinsic, IntrinsicRegistry, check, parse
+from repro.lang.types import DOUBLE, ArrayType
+
+SOURCE = """
+native Rectdomain<1, Cube> read();
+native double[] extract(double[] vals, double iso);
+native double[] project(double[] tris, double angle);
+native void show(Acc a);
+
+class Cube { double minval; double maxval; double[] vals; }
+
+class Acc implements Reducinterface {
+    double[] total;
+    void add(double[] v) { return; }
+    void merge(Acc other) { return; }
+}
+
+class M {
+    void run(double iso, double angle) {
+        runtime_define int num_packets;
+        Rectdomain<1, Cube> cubes = read();
+        Acc result = new Acc();
+        PipelinedLoop (p in cubes) {
+            Acc local = new Acc();
+            foreach (c in p) {
+                if (c.minval <= iso && c.maxval >= iso) {
+                    double[] tris = extract(c.vals, iso);
+                    double[] polys = project(tris, angle);
+                    local.add(polys);
+                }
+            }
+            result.merge(local);
+        }
+        show(result);
+    }
+}
+"""
+
+
+def registry():
+    da = ArrayType(DOUBLE)
+    return IntrinsicRegistry(
+        [
+            Intrinsic("read", (), None, fn=lambda: None, writes=("return",)),
+            Intrinsic("extract", (da, DOUBLE), da, fn=None, reads=("vals", "iso")),
+            Intrinsic("project", (da, DOUBLE), da, fn=None, reads=("tris", "angle")),
+            Intrinsic("show", (), None, fn=None, reads=("a",), writes=()),
+        ]
+    )
+
+
+@pytest.fixture(scope="module")
+def analyzed():
+    checked = check(parse(SOURCE), registry())
+    meth, loop = checked.pipelined_loops()[0]
+    chain = build_filter_chain(checked, meth, loop)
+    analysis = analyze_communication(chain, GenConsAnalyzer(checked))
+    return chain, analysis
+
+
+def names(ps):
+    return {repr(p) for p in ps}
+
+
+class TestReqCommPropagation:
+    def test_boundary_count(self, analyzed):
+        chain, analysis = analyzed
+        assert len(analysis.reqcomm) == len(chain.boundaries)
+
+    def test_live_out_is_result(self, analyzed):
+        _chain, analysis = analyzed
+        assert "result" in names(analysis.live_out)
+
+    def test_guard_fields_dropped_after_guard(self, analyzed):
+        chain, analysis = analyzed
+        guard_atom = next(a for a in chain.atoms if a.guard is not None)
+        before = names(analysis.reqcomm[guard_atom.index - 2]) if guard_atom.index >= 2 else set()
+        after = names(analysis.reqcomm[guard_atom.index - 1])
+        assert "c.minval" in before or guard_atom.index == 1
+        assert "c.minval" not in after
+
+    def test_intermediate_values_appear_then_die(self, analyzed):
+        chain, analysis = analyzed
+        seen_tris = [i for i, req in enumerate(analysis.reqcomm) if "tris" in names(req)]
+        assert seen_tris, "tris never crosses any boundary"
+        # tris is dead after project consumes it
+        assert seen_tris == list(
+            range(min(seen_tris), max(seen_tris) + 1)
+        ), "tris liveness must be one contiguous interval"
+
+    def test_boundary_annotation_attached(self, analyzed):
+        chain, _ = analyzed
+        assert all(b.reqcomm is not None for b in chain.boundaries)
+
+    def test_dropping_boundary_keeps_reqcomm_correct(self, analyzed):
+        """§4.2's argument: ReqComm(f1) stays correct when the boundary
+        between b1 and b2 is not selected.  Formally: ReqComm(b_{i-1})
+        computed over the merged segment equals the two-step computation."""
+        chain, analysis = analyzed
+        analyzer = GenConsAnalyzer(chain.checked)
+        for i in range(len(chain.boundaries) - 1):
+            atom_a = chain.atoms[i + 1]
+            atom_b = chain.atoms[i + 2]
+            merged_facts = analyzer.analyze(list(atom_a.stmts) + list(atom_b.stmts))
+            if atom_a.guard is not None or atom_b.guard is not None:
+                continue  # guards are boundary-attached, not mergeable text
+            downstream = (
+                analysis.reqcomm[i + 2]
+                if i + 2 < len(analysis.reqcomm)
+                else analysis.live_out
+            )
+            merged_req = downstream.difference_must(merged_facts.gen).union(
+                merged_facts.cons
+            )
+            two_step = analysis.reqcomm[i]
+            assert names(merged_req) <= names(two_step), (
+                f"merging f{i + 2},f{i + 3} demanded more than the chain: "
+                f"{names(merged_req) - names(two_step)}"
+            )
+
+
+class TestVolumeModel:
+    def test_guard_reduces_downstream_volume(self, analyzed):
+        chain, analysis = analyzed
+        vm = VolumeModel(chain.checked, size_hints={"Cube.vals": 8})
+        profile = WorkloadProfile(
+            {"num_packets": 10, "packet_size": 1000, "sel.g0": 0.1}
+        )
+        vols = [
+            vm.boundary_volume(chain, b, req, profile)
+            for b, req in zip(chain.boundaries, analysis.reqcomm)
+        ]
+        guard_atom = next(a for a in chain.atoms if a.guard is not None)
+        assert vols[guard_atom.index - 1] < vols[guard_atom.index - 2]
+
+    def test_selectivity_scales_volume(self, analyzed):
+        chain, analysis = analyzed
+        vm = VolumeModel(chain.checked, size_hints={"Cube.vals": 8})
+        guard_atom = next(a for a in chain.atoms if a.guard is not None)
+        b = chain.boundaries[guard_atom.index - 1]
+        req = analysis.reqcomm[guard_atom.index - 1]
+        lo = vm.boundary_volume(
+            chain, b, req, WorkloadProfile({"packet_size": 1000, "sel.g0": 0.1})
+        )
+        hi = vm.boundary_volume(
+            chain, b, req, WorkloadProfile({"packet_size": 1000, "sel.g0": 0.5})
+        )
+        assert hi == pytest.approx(5 * lo, rel=0.01)
+
+    def test_stream_cardinality(self, analyzed):
+        chain, _ = analyzed
+        vm = VolumeModel(chain.checked)
+        profile = WorkloadProfile({"packet_size": 100, "sel.g0": 0.25})
+        guard_atom = next(a for a in chain.atoms if a.guard is not None)
+        before = vm.stream_cardinality(chain, guard_atom.index - 1, 0, profile)
+        after = vm.stream_cardinality(chain, guard_atom.index, 0, profile)
+        assert before == 100 and after == 25
+
+    def test_pristine_reduction_free_written_reduction_paid(self, analyzed):
+        chain, analysis = analyzed
+        vm = VolumeModel(chain.checked, size_hints={"Acc.total": 1000})
+        profile = WorkloadProfile({"packet_size": 10, "num_packets": 4})
+        add_atom = next(
+            a.index for a in chain.atoms if any("add" in repr(s) for s in a.stmts)
+        )
+        vol_before = vm.boundary_volume(
+            chain,
+            chain.boundaries[add_atom - 2],
+            analysis.reqcomm[add_atom - 2],
+            profile,
+        )
+        vol_after = vm.boundary_volume(
+            chain,
+            chain.boundaries[add_atom - 1],
+            analysis.reqcomm[add_atom - 1],
+            profile,
+        )
+        # after the update, the 8000-byte accumulator crosses
+        assert vol_after - vol_before > 7000
+
+    def test_class_bytes(self, analyzed):
+        chain, _ = analyzed
+        vm = VolumeModel(chain.checked, size_hints={"Cube.vals": 8})
+        profile = WorkloadProfile({})
+        assert vm.class_bytes("Cube", profile) == 8 + 8 + 8 * 8

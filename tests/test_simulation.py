@@ -1,0 +1,108 @@
+"""Grid-simulator tests: exactness against the §4.3 closed form, FIFO
+multi-server behaviour, load imbalance, and hypothesis lower bounds."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datacutter import (
+    SimStage,
+    multi_server_fifo,
+    simulate,
+    simulate_pipeline,
+    stages_for_pipeline,
+)
+
+
+class TestMultiServerFifo:
+    def test_single_server_serializes(self):
+        completion, busy, wait = multi_server_fifo([0.0, 0.0, 0.0], 2.0, 1)
+        assert completion == [2.0, 4.0, 6.0]
+        assert busy == 6.0 and wait == 6.0
+
+    def test_two_servers_parallelize(self):
+        completion, _busy, _wait = multi_server_fifo([0.0, 0.0, 0.0, 0.0], 2.0, 2)
+        assert sorted(completion) == [2.0, 2.0, 4.0, 4.0]
+
+    def test_fifo_order_respected(self):
+        # a late arrival must not jump ahead of queued work
+        completion, _b, _w = multi_server_fifo([0.0, 0.1, 5.0], 2.0, 1)
+        assert completion == [2.0, 4.0, 7.0]
+
+    def test_per_packet_service_function(self):
+        completion, _b, _w = multi_server_fifo([0.0, 0.0], lambda k: k + 1.0, 1)
+        assert completion == [1.0, 3.0]
+
+    def test_negative_service_rejected(self):
+        with pytest.raises(ValueError):
+            multi_server_fifo([0.0], -1.0, 1)
+
+
+class TestPipelineSimulation:
+    def test_matches_closed_form_width_one(self):
+        """Constant times, width 1: makespan == (N-1)*bottleneck + fill."""
+        comp, link = [2.0, 5.0, 1.0], [0.5, 0.25]
+        report = simulate_pipeline(comp, link, [1, 1, 1], 20)
+        assert report.makespan == pytest.approx(19 * 5.0 + sum(comp) + sum(link))
+
+    def test_link_bottleneck(self):
+        report = simulate_pipeline([1.0, 1.0], [10.0], [1, 1], 5)
+        assert report.makespan == pytest.approx(4 * 10.0 + 12.0)
+
+    def test_width_divides_steady_state(self):
+        slow = simulate_pipeline([0.0, 4.0, 0.0], [0.0, 0.0], [1, 1, 1], 16)
+        fast = simulate_pipeline([0.0, 4.0, 0.0], [0.0, 0.0], [1, 2, 1], 16)
+        assert fast.makespan == pytest.approx(slow.makespan / 2, rel=0.1)
+
+    def test_load_imbalance_limits_speedup(self):
+        """One giant packet caps scaling — the §6.5 small-query effect."""
+        times = lambda k: 10.0 if k == 0 else 0.1
+        w1 = simulate_pipeline([times], [], [1], 8)
+        w4 = simulate_pipeline([times], [], [4], 8)
+        assert w4.makespan >= 10.0
+        assert w1.makespan / w4.makespan < 1.2
+
+    def test_stage_utilization(self):
+        report = simulate_pipeline([1.0, 2.0], [0.0], [1, 1], 10)
+        assert report.stage_busy["C2"] == pytest.approx(20.0)
+        assert report.utilization("C2") > report.utilization("C1")
+
+    def test_zero_packets(self):
+        assert simulate_pipeline([1.0], [], [1], 0).makespan == 0.0
+
+    def test_stage_interleaving_order(self):
+        stages = stages_for_pipeline([1.0, 1.0, 1.0], [0.5, 0.5], [2, 2, 1])
+        assert [s.name for s in stages] == ["C1", "L1", "C2", "L2", "C3"]
+        # link channels = min(width of its endpoints)
+        assert [s.servers for s in stages] == [2, 2, 2, 1, 1]
+
+    def test_mismatched_inputs(self):
+        with pytest.raises(ValueError):
+            stages_for_pipeline([1.0, 1.0], [0.5, 0.5], [1, 1])
+
+
+@given(
+    st.lists(st.floats(0.01, 5.0), min_size=1, max_size=4),
+    st.lists(st.floats(0.0, 2.0), min_size=0, max_size=3),
+    st.integers(1, 30),
+    st.integers(1, 4),
+)
+@settings(max_examples=80, deadline=None)
+def test_makespan_bounds_property(comp, links, n, width):
+    """Simulated makespan is sandwiched between the perfect-parallel lower
+    bound and the fully-serial upper bound."""
+    links = links[: max(len(comp) - 1, 0)]
+    while len(links) < len(comp) - 1:
+        links.append(0.0)
+    widths = [width] * len(comp)
+    report = simulate_pipeline(comp, links, widths, n)
+    bottleneck = max(comp + links) if comp + links else 0.0
+    fill = sum(comp) + sum(links)
+    # lower bound: the slowest stage must process ceil(n/width) packets
+    import math
+
+    lower = max(
+        max(comp) * math.ceil(n / width) if comp else 0.0,
+        fill,
+    )
+    upper = n * fill + 1e-9
+    assert lower - 1e-9 <= report.makespan <= upper

@@ -1,0 +1,103 @@
+"""Unparse round-trip tests: parse -> unparse -> parse is a fixpoint."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lang import parse, unparse
+from repro.lang.unparse import unparse_expr, unparse_stmt
+
+EXAMPLES = [
+    "class A { }",
+    "class A implements Reducinterface { double x; }",
+    "native double[] f(int n);",
+    "native Rectdomain<1, Cube> read();\nclass Cube { double v; }",
+    """
+    class Cube { double minval; double maxval; double[] vals; }
+    class Z implements Reducinterface {
+        double[] depth;
+        void accum(double[] f) { return; }
+        void merge(Z other) { return; }
+    }
+    class R {
+        void run(Rectdomain<1, Cube> cubes, double iso) {
+            runtime_define int num_packets;
+            Z result = new Z();
+            PipelinedLoop (p in cubes) {
+                Z local = new Z();
+                foreach (c in p) {
+                    if (c.minval <= iso && c.maxval >= iso) {
+                        local.accum(c.vals);
+                    }
+                }
+                result.merge(local);
+            }
+        }
+    }
+    """,
+    """
+    class M {
+        int f(int n) {
+            int total = 0;
+            for (int i = 0; i < n; i = i + 1) {
+                if (i % 2 == 0) { total += i; } else { total -= 1; }
+            }
+            while (total > 100) { total = total / 2; }
+            return total > 0 ? total : -total;
+        }
+    }
+    """,
+]
+
+
+def test_roundtrip_examples():
+    for source in EXAMPLES:
+        first = unparse(parse(source))
+        second = unparse(parse(first))
+        assert first == second, f"not a fixpoint for:\n{source}"
+
+
+def test_expr_parenthesization_preserved():
+    source = "class A { void f() { x = (a + b) * c - d / (e - f); } }"
+    assert unparse(parse(source)) == unparse(parse(unparse(parse(source))))
+
+
+def test_unparse_stmt_single():
+    program = parse("class A { void f() { if (x > 0) { y = 1; } } }")
+    text = unparse_stmt(program.classes[0].methods[0].body.body[0])
+    assert text.startswith("if (x > 0)")
+
+
+# -- property: random expression trees survive the round trip --------------
+
+_names = st.sampled_from(["a", "b", "c", "xs", "k"])
+
+
+def _expr_text(depth: int):
+    if depth == 0:
+        return st.one_of(
+            _names,
+            st.integers(0, 99).map(str),
+            st.sampled_from(["1.5", "true", "false"]),
+        )
+    sub = _expr_text(depth - 1)
+    return st.one_of(
+        sub,
+        st.tuples(sub, st.sampled_from(["+", "-", "*", "/", "<", "==", "&&"]), sub).map(
+            lambda t: f"({t[0]} {t[1]} {t[2]})"
+        ),
+        st.tuples(_names, sub).map(lambda t: f"{t[0]}[{t[1]}]"),
+        sub.map(lambda s: f"-({s})"),
+    )
+
+
+@given(_expr_text(3))
+@settings(max_examples=150)
+def test_roundtrip_random_expressions(expr_text):
+    source = "class A { void f() { x = %s; } }" % expr_text
+    first = unparse(parse(source))
+    assert unparse(parse(first)) == first
+
+
+def test_unparse_expr_precedence_minimal_parens():
+    program = parse("class A { void f() { x = a + b * c; } }")
+    stmt = program.classes[0].methods[0].body.body[0]
+    assert unparse_expr(stmt.value) == "a + b * c"
