@@ -1,0 +1,184 @@
+"""Threaded vs process engine on CPU-bound pipelines.
+
+The threaded engine runs every filter copy under one GIL, so widening a
+CPU-bound stage buys nothing; the process engine gives each copy its own
+interpreter.  This benchmark measures the makespan ratio on
+
+* a synthetic two-stage pure-Python pipeline (the worst case for the GIL
+  and the cleanest headroom measurement),
+* the z-buffer and kNN Decomp-Comp pipelines with width-2 compute stages.
+
+The >=1.5x speedup assertion only makes sense with real cores to spread
+over; it is skipped below four cores (CI containers here expose one).
+Run standalone with ``PYTHONPATH=src python benchmarks/bench_engine_speedup.py``
+or via pytest.  Results are recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.apps import make_knn_app, make_zbuffer_app
+from repro.cost import cluster_config
+from repro.datacutter import Filter, FilterSpec, SourceFilter, run_pipeline
+from repro.experiments.harness import _specs_for_version
+
+MIN_CORES_FOR_ASSERT = 4
+EXPECTED_SPEEDUP = 1.5
+PROC_TIMEOUT = 300.0
+
+
+# ---------------------------------------------------------------------------
+# Synthetic two-stage CPU-bound pipeline
+# ---------------------------------------------------------------------------
+
+
+class _PacketSource(SourceFilter):
+    def generate(self, ctx):
+        for k in range(ctx.params.get("n", 8)):
+            yield float(k)
+
+
+class _Burn(Filter):
+    """Pure-Python spin: holds the GIL for the whole packet."""
+
+    def process(self, buf, ctx):
+        acc = 0
+        for i in range(ctx.params.get("iters", 400_000)):
+            acc += i * i
+        ctx.write(buf.payload + (acc % 2), buf.packet)
+
+
+class _Count(Filter):
+    def init(self, ctx):
+        self.n = 0
+
+    def process(self, buf, ctx):
+        self.n += 1
+
+    def finalize(self, ctx):
+        ctx.write(float(self.n))
+
+
+def synthetic_specs(num_packets: int = 8, iters: int = 400_000):
+    params = {"n": num_packets, "iters": iters}
+    return [
+        FilterSpec("gen", _PacketSource, params=params),
+        FilterSpec("burn1", _Burn, placement=1, width=2, params=params),
+        FilterSpec("burn2", _Burn, placement=2, width=2, params=params),
+        FilterSpec("count", _Count, placement=3, params=params),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Application pipelines with widened compute stages
+# ---------------------------------------------------------------------------
+
+
+def app_specs(which: str, num_packets: int):
+    if which == "zbuffer":
+        app = make_zbuffer_app()
+        workload = app.make_workload(dataset="small", num_packets=num_packets)
+    else:
+        app = make_knn_app(k=3)
+        workload = app.make_workload(n_points=40_000, num_packets=num_packets)
+    env = cluster_config(2)
+    _specs, result = _specs_for_version(app, workload, "Decomp-Comp", env)
+    # widen every interior (compute) stage to two transparent copies
+    n = len(result.pipeline.filters)
+    widths = [1] + [2] * max(n - 2, 0)
+    widths = widths[:n] or [1]
+    if n > 1:
+        widths[-1] = 1  # single sink so the final reduction stays one object
+    return result.pipeline.specs(workload.packets, workload.params, widths)
+
+
+# ---------------------------------------------------------------------------
+# Measurement
+# ---------------------------------------------------------------------------
+
+
+def _makespan(make_specs, engine: str, repeats: int = 3) -> float:
+    opts = {"timeout": PROC_TIMEOUT} if engine == "process" else {}
+    run_pipeline(make_specs(), engine=engine, **opts)  # warm
+    best = float("inf")
+    for _ in range(repeats):
+        specs = make_specs()  # fresh stateful filter instances per run
+        t0 = time.perf_counter()
+        run_pipeline(specs, engine=engine, **opts)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+CASES = {
+    "synthetic-2stage": (lambda: synthetic_specs(num_packets=8), 8),
+    "zbuffer-decomp-w2": (lambda: app_specs("zbuffer", 8), 8),
+    "knn-decomp-w2": (lambda: app_specs("knn", 8), 8),
+}
+
+
+def measure_case(name: str) -> dict:
+    make_specs, packets = CASES[name]
+    threaded = _makespan(make_specs, "threaded")
+    process = _makespan(make_specs, "process")
+    return {
+        "case": name,
+        "packets": packets,
+        "threaded_s": threaded,
+        "process_s": process,
+        "speedup": threaded / process,
+    }
+
+
+# ---------------------------------------------------------------------------
+# pytest entry points
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+def test_engine_speedup(case):
+    row = measure_case(case)
+    print(
+        f"\n{row['case']}: threaded {row['threaded_s']:.3f}s, "
+        f"process {row['process_s']:.3f}s, speedup {row['speedup']:.2f}x "
+        f"({os.cpu_count()} cores)"
+    )
+    cores = os.cpu_count() or 1
+    if cores < MIN_CORES_FOR_ASSERT:
+        pytest.skip(
+            f"only {cores} core(s); the >= {EXPECTED_SPEEDUP}x speedup "
+            f"assertion needs >= {MIN_CORES_FOR_ASSERT}"
+        )
+    if case == "synthetic-2stage":
+        assert row["speedup"] >= EXPECTED_SPEEDUP, row
+
+
+def main() -> int:
+    cores = os.cpu_count() or 1
+    print(f"engine speedup benchmark on {cores} cores")
+    print(f"{'case':<24} {'packets':>7} {'threaded':>10} {'process':>10} {'speedup':>8}")
+    worst_ok = True
+    for name in CASES:
+        row = measure_case(name)
+        print(
+            f"{row['case']:<24} {row['packets']:>7} "
+            f"{row['threaded_s']:>9.3f}s {row['process_s']:>9.3f}s "
+            f"{row['speedup']:>7.2f}x"
+        )
+        if cores >= MIN_CORES_FOR_ASSERT and name == "synthetic-2stage":
+            worst_ok = worst_ok and row["speedup"] >= EXPECTED_SPEEDUP
+    if cores < MIN_CORES_FOR_ASSERT:
+        print(
+            f"note: {cores} core(s) < {MIN_CORES_FOR_ASSERT}; speedup "
+            "threshold not enforced"
+        )
+    return 0 if worst_ok else 1
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -5,6 +5,9 @@ Commands:
 * ``compile FILE`` — run the full compiler on a dialect source file and
   print the compilation report (atoms, per-boundary volumes, the chosen
   plan); ``--emit`` also prints the generated Python filter sources.
+* ``run APP`` — compile one bundled application, execute it on an
+  execution engine (``--engine threaded|process``), verify the output
+  against the sequential oracle, and print stream accounting.
 * ``figures [NAMES...]`` — reproduce the paper's evaluation figures
   (default: all of fig5..fig12) and print paper-vs-measured reports.
 * ``apps`` — list the bundled evaluation applications.
@@ -44,6 +47,48 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     return 0
 
 
+_APP_FACTORIES = {
+    "zbuffer": ("make_zbuffer_app", {"dataset": "small"}),
+    "apixels": ("make_active_pixels_app", {"dataset": "small"}),
+    "knn": ("make_knn_app", {"n_points": 20_000}),
+    "vmscope": ("make_vmscope_app", {"query": "large"}),
+}
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    import time
+
+    from . import apps as apps_mod
+    from .cost.environment import cluster_config
+    from .datacutter import run_pipeline
+    from .experiments.harness import _specs_for_version
+
+    if args.packets < 1 or args.width < 1:
+        print("run: --packets and --width must be >= 1")
+        return 2
+    factory_name, workload_defaults = _APP_FACTORIES[args.app]
+    app = getattr(apps_mod, factory_name)()
+    workload = app.make_workload(num_packets=args.packets, **workload_defaults)
+    env = cluster_config(args.width)
+    specs, _result = _specs_for_version(app, workload, args.version, env)
+    t0 = time.perf_counter()
+    run = run_pipeline(specs, engine=args.engine)
+    elapsed = time.perf_counter() - t0
+    finals = run.payloads[-1]
+    ok = workload.check(finals, workload.oracle())
+    print(f"{app.name} / {args.version} on the {args.engine} engine")
+    print(f"  packets: {workload.num_packets}  width: {args.width}")
+    print(f"  wall time: {elapsed:.3f}s")
+    for stream in sorted(run.stream_bytes):
+        print(
+            f"  stream {stream:<40} "
+            f"{run.stream_buffers.get(stream, 0):>5} buffers  "
+            f"{run.stream_bytes[stream]:>12,} bytes"
+        )
+    print(f"  oracle check: {'OK' if ok else 'MISMATCH'}")
+    return 0 if ok else 1
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
     from .experiments.figures import ALL_FIGURES
 
@@ -54,7 +99,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         return 2
     ok = True
     for name in names:
-        figure = ALL_FIGURES[name]()
+        figure = ALL_FIGURES[name](engine=args.engine)
         print(figure.report())
         print()
         ok = ok and figure.ok
@@ -109,8 +154,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_compile.set_defaults(fn=_cmd_compile)
 
+    p_run = sub.add_parser("run", help="compile + execute one application")
+    p_run.add_argument("app", choices=sorted(_APP_FACTORIES))
+    p_run.add_argument(
+        "--engine",
+        choices=["threaded", "process"],
+        default="threaded",
+        help="execution engine (process = one OS process per filter copy)",
+    )
+    p_run.add_argument(
+        "--version",
+        choices=["Default", "Decomp-Comp", "Decomp-Manual"],
+        default="Decomp-Comp",
+        help="pipeline version to run",
+    )
+    p_run.add_argument(
+        "--width", type=int, default=1, help="pipeline width (w-w-1 config)"
+    )
+    p_run.add_argument(
+        "--packets", type=int, default=8, help="number of input packets"
+    )
+    p_run.set_defaults(fn=_cmd_run)
+
     p_fig = sub.add_parser("figures", help="reproduce evaluation figures")
     p_fig.add_argument("names", nargs="*", help="fig5 .. fig12 (default all)")
+    p_fig.add_argument(
+        "--engine",
+        choices=["threaded", "process"],
+        default="threaded",
+        help="execution engine for the measured runs",
+    )
     p_fig.set_defaults(fn=_cmd_figures)
 
     p_apps = sub.add_parser("apps", help="list bundled applications")

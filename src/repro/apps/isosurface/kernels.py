@@ -22,6 +22,8 @@ import math
 
 import numpy as np
 
+from ...codegen.generated_registry import register_generated
+
 #: cube corner coordinates in the order datasets.make_cube_dataset uses
 _CORNERS = np.array(
     [
@@ -239,7 +241,8 @@ def make_zbuffer_class(width: int, height: int) -> type:
             return self.depth.nbytes + self.color.nbytes
 
     ZBuffer.__name__ = f"ZBuffer{width}x{height}"
-    return ZBuffer
+    # anchor for pickling across the process engine boundary
+    return register_generated(ZBuffer)
 
 
 def make_active_pixels_class(width: int, height: int) -> type:
@@ -319,4 +322,4 @@ def make_active_pixels_class(width: int, height: int) -> type:
             return self.idx.nbytes + self.depth.nbytes + self.color.nbytes
 
     ActivePixels.__name__ = f"ActivePixels{width}x{height}"
-    return ActivePixels
+    return register_generated(ActivePixels)

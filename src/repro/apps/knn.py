@@ -17,6 +17,7 @@ from typing import Any
 import numpy as np
 
 from ..analysis.workload import WorkloadProfile
+from ..codegen.generated_registry import register_generated
 from ..codegen.runtime_support import RawPacket
 from ..datacutter.buffers import Buffer
 from ..datacutter.filters import Filter, FilterContext, FilterSpec, SourceFilter
@@ -155,7 +156,8 @@ def make_knn_class(k: int) -> type:
             )
 
     KNN.__name__ = f"KNN{k}"
-    return KNN
+    # anchor for pickling across the process engine boundary
+    return register_generated(KNN)
 
 
 def knn_oracle(points: np.ndarray, q: tuple[float, float, float], k: int):

@@ -24,6 +24,7 @@ from typing import Any
 import numpy as np
 
 from ..analysis.workload import WorkloadProfile
+from ..codegen.generated_registry import register_generated
 from ..datacutter.buffers import Buffer
 from ..datacutter.filters import Filter, FilterContext, FilterSpec, SourceFilter
 from ..lang.intrinsics import Intrinsic, IntrinsicRegistry, OpCount
@@ -166,7 +167,9 @@ def make_vimage_class(qx0: int, qy0: int, qx1: int, qy1: int, subsamp: int) -> t
             return self.data.nbytes
 
     VImage.__name__ = f"VImage{out_w}x{out_h}"
-    return VImage
+    # query-dependent class: anchor it so instances can cross process
+    # boundaries (the process engine pickles final reduction objects)
+    return register_generated(VImage)
 
 
 _D, _DA = DOUBLE, ArrayType(DOUBLE)

@@ -41,6 +41,7 @@ from ..decompose.plan import DecompositionPlan
 from ..lang import ast
 from ..lang.types import ClassType, VarSymbol
 from .buffers import BatchBuilder, pack, unpack
+from .generated_registry import register_generated
 from .layout import LayoutBuilder, PacketLayout, mangle
 from .pygen import CodegenError, NameEnv, PyGen, generate_runtime_class
 from .runtime_support import FINAL_PACKET, RawPacket
@@ -161,7 +162,9 @@ class FilterGenerator:
                 continue
             src = generate_runtime_class(self.checked, name)
             exec(compile(src, f"<runtime class {name}>", "exec"), namespace)
-            classes[name] = namespace[name]
+            # anchor for pickling: instances of these classes cross process
+            # boundaries in the process engine's final-result buffers
+            classes[name] = register_generated(namespace[name])
         return classes
 
     def _collect_reduction_decls(self) -> dict[int, ast.VarDecl]:

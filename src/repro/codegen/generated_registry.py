@@ -1,0 +1,38 @@
+"""Pickle anchor for dynamically generated classes.
+
+Classes produced with ``exec`` (the generated runtime classes of
+:mod:`repro.codegen.filtergen`, query-dependent reduction classes such as
+vmscope's ``VImage``) have no importable module, so pickling their
+*instances* fails with ``attribute lookup ... failed``.  The process
+execution engine (:mod:`repro.datacutter.mp`) moves final reduction
+objects between worker processes and the supervisor by pickle, so every
+dynamically created class is registered here: the class is re-homed into
+this module under a unique attribute name, which makes pickle's
+by-reference lookup succeed in any process forked after registration.
+The process engine forks its workers after compilation, so the registry
+is always populated identically on both sides of the pipe.
+"""
+
+from __future__ import annotations
+
+import itertools
+import sys
+
+_counter = itertools.count()
+
+
+def register_generated(cls: type) -> type:
+    """Anchor ``cls`` in this module so its instances pickle by reference.
+
+    The class keeps its ``__name__`` (used in generated source and error
+    messages); only ``__module__``/``__qualname__`` are redirected.  Returns
+    the class so the call composes with assignment.
+    """
+    module = sys.modules[__name__]
+    anchor = cls.__name__
+    if hasattr(module, anchor):
+        anchor = f"{cls.__name__}__g{next(_counter)}"
+    cls.__module__ = __name__
+    cls.__qualname__ = anchor
+    setattr(module, anchor, cls)
+    return cls

@@ -52,6 +52,9 @@ class CompileOptions:
     #: 'Class.method' -> (profile -> OpCount) cost summaries for methods
     #: backed by native runtime classes (reduction updates)
     method_costs: dict[str, object] = field(default_factory=dict)
+    #: default execution engine for CompilationResult.execute
+    #: ("threaded" | "process"; see repro.datacutter.engine)
+    engine: str = "threaded"
 
 
 @dataclass(slots=True)
@@ -68,6 +71,28 @@ class CompilationResult:
     plan_cost: float
     pipeline: CompiledPipeline
     options: CompileOptions
+
+    def execute(
+        self,
+        packets,
+        params: dict | None = None,
+        widths=None,
+        engine: str | None = None,
+        **engine_options,
+    ):
+        """Run the compiled pipeline on an execution engine.
+
+        ``engine`` overrides ``options.engine`` (``"threaded"`` |
+        ``"process"``); extra keyword options go to the engine factory
+        (e.g. ``timeout=`` for the process supervisor).  Returns the
+        engine's :class:`~repro.datacutter.runtime.RunResult`.
+        """
+        from ..datacutter.engine import run_pipeline
+
+        specs = self.pipeline.specs(packets, params, widths)
+        return run_pipeline(
+            specs, engine=engine or self.options.engine, **engine_options
+        )
 
     def report(self) -> str:
         """Human-readable compilation report (atoms, volumes, plan)."""

@@ -2,9 +2,10 @@
 
 Built from scratch for this reproduction: filters with
 ``init``/``process``/``finalize``, streams moving fixed-size buffers,
-transparent copies with round-robin distribution, a threaded local
-execution engine, and a deterministic discrete-event simulator used by the
-experiment harness."""
+transparent copies with round-robin distribution, two interchangeable
+execution engines (a threaded local engine and a process engine with
+shared-memory transport — see :mod:`repro.datacutter.engine`), and a
+deterministic discrete-event simulator used by the experiment harness."""
 
 from .buffers import Buffer, BufferKind, StreamStats, payload_nbytes
 from .filters import (
@@ -14,8 +15,10 @@ from .filters import (
     FunctionFilter,
     SourceFilter,
 )
+from .engine import ENGINES, Engine, make_engine, run_pipeline
+from .mp import ProcessPipeline
 from .placement import PlacedPipeline
-from .runtime import PipelineError, RunResult, ThreadedPipeline, run_pipeline
+from .runtime import PipelineError, RunResult, ThreadedPipeline
 from .simulation import (
     SimReport,
     SimStage,
@@ -40,6 +43,8 @@ __all__ = [
     "ByPacket",
     "CollectorStream",
     "DistributionPolicy",
+    "ENGINES",
+    "Engine",
     "Filter",
     "FilterContext",
     "FilterSpec",
@@ -47,6 +52,7 @@ __all__ = [
     "LogicalStream",
     "PipelineError",
     "PlacedPipeline",
+    "ProcessPipeline",
     "RoundRobin",
     "RunResult",
     "SimReport",
@@ -54,6 +60,7 @@ __all__ = [
     "SourceFilter",
     "StreamStats",
     "ThreadedPipeline",
+    "make_engine",
     "multi_server_fifo",
     "payload_nbytes",
     "run_pipeline",

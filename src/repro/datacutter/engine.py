@@ -1,0 +1,77 @@
+"""Engine protocol and selection: one switch between execution substrates.
+
+Every execution engine runs the same placed :class:`FilterSpec` pipelines
+and returns the same :class:`RunResult`; they differ only in *where* the
+filter copies run:
+
+* ``"threaded"`` — :class:`~repro.datacutter.runtime.ThreadedPipeline`:
+  one thread per copy.  Cheap to start, shares memory freely, but
+  CPU-bound filters serialize behind the GIL — use it for correctness
+  runs, measurement (per-filter timing), and I/O-bound filters.
+* ``"process"`` — :class:`~repro.datacutter.mp.ProcessPipeline`: one
+  process per copy with shared-memory buffer transport.  True parallelism
+  for CPU-bound pipelines at the cost of process startup and one
+  copy-in/copy-out per large buffer.
+
+``run_pipeline(specs, engine="process")`` is the one-line switch; the
+:data:`ENGINES` registry is open so later substrates (multi-host
+transport, work stealing) plug in without touching call sites.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Protocol, Sequence, runtime_checkable
+
+from .filters import FilterSpec
+from .runtime import RunResult, ThreadedPipeline
+
+
+@runtime_checkable
+class Engine(Protocol):
+    """An execution substrate for placed filter pipelines."""
+
+    specs: list[FilterSpec]
+
+    def run(self) -> RunResult:  # pragma: no cover - protocol
+        ...
+
+
+def _make_process(specs: Sequence[FilterSpec], **opts: Any) -> Engine:
+    from .mp.engine import ProcessPipeline  # deferred: keeps import light
+
+    return ProcessPipeline(specs, **opts)
+
+
+#: engine name -> factory(specs, **options) -> Engine
+ENGINES: dict[str, Callable[..., Engine]] = {
+    "threaded": ThreadedPipeline,
+    "process": _make_process,
+}
+
+
+def make_engine(
+    specs: Sequence[FilterSpec],
+    engine: str = "threaded",
+    queue_capacity: int = 32,
+    **options: Any,
+) -> Engine:
+    """Instantiate the named engine over ``specs``."""
+    try:
+        factory = ENGINES[engine]
+    except KeyError:
+        known = ", ".join(sorted(ENGINES))
+        raise ValueError(f"unknown engine {engine!r}; known engines: {known}")
+    return factory(specs, queue_capacity=queue_capacity, **options)
+
+
+def run_pipeline(
+    specs: Sequence[FilterSpec],
+    queue_capacity: int = 32,
+    engine: str = "threaded",
+    **options: Any,
+) -> RunResult:
+    """Build and run a pipeline on the selected engine (the main entry
+    point; ``engine="threaded"`` preserves the historical behaviour)."""
+    return make_engine(
+        specs, engine=engine, queue_capacity=queue_capacity, **options
+    ).run()

@@ -1,0 +1,29 @@
+"""Process-parallel execution engine (shared-memory transport + supervision).
+
+The multiprocess counterpart of the threaded local engine: same
+``FilterSpec`` pipelines, same ``RunResult``, true parallelism.  See
+:mod:`repro.datacutter.mp.engine` for the architecture overview.
+"""
+
+from .channels import ProcessEdge
+from .engine import ProcessPipeline
+from .supervisor import Supervisor, WorkerHandle
+from .transport import (
+    DEFAULT_SHM_MIN_BYTES,
+    EndOfStream,
+    ShmRef,
+    decode_payload,
+    encode_payload,
+)
+
+__all__ = [
+    "DEFAULT_SHM_MIN_BYTES",
+    "EndOfStream",
+    "ProcessEdge",
+    "ProcessPipeline",
+    "ShmRef",
+    "Supervisor",
+    "WorkerHandle",
+    "decode_payload",
+    "encode_payload",
+]

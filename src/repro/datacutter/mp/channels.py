@@ -1,0 +1,143 @@
+"""Process-crossing logical streams.
+
+A :class:`ProcessEdge` is the multiprocess analogue of
+:class:`~repro.datacutter.streams.LogicalStream`: ``p`` producer copies
+feed ``c`` consumer copies through one bounded ``multiprocessing.Queue``
+per consumer copy (the bound is the backpressure: a producer that gets
+ahead blocks in ``put`` until the consumer drains).  End-of-stream differs
+from the threaded engine in one deliberate way: each producer copy
+broadcasts its *own* :class:`~repro.datacutter.mp.transport.EndOfStream`
+sentinel to every consumer queue, and consumers count sentinels until all
+producers have closed.  A single last-closer sentinel (the threaded
+protocol) would be unsound here — ``multiprocessing.Queue`` writes go
+through per-process feeder threads, so a sentinel sent by producer B can
+overtake data still buffered inside producer A; per-producer sentinels
+ride each producer's own FIFO and cannot pass its data.
+
+Two fork-related differences from the threaded stream, both documented
+behaviour:
+
+* the distribution policy object is *copied* into each producer process by
+  ``fork``, so round-robin rotates per producer copy instead of globally —
+  load balance is preserved, exact interleaving is not (DataCutter makes
+  the same non-guarantee);
+* :attr:`stats` accumulate in the producer process; each worker ships its
+  totals to the supervisor on exit, which merges them per stream so
+  :class:`~repro.datacutter.runtime.RunResult` accounting matches the
+  threaded engine's.
+"""
+
+from __future__ import annotations
+
+from queue import Empty
+from typing import Any
+
+from ..buffers import Buffer, StreamStats
+from ..streams import DistributionPolicy, RoundRobin
+from .transport import (
+    DEFAULT_SHM_MIN_BYTES,
+    EndOfStream,
+    collect_shm_refs,
+    decode_payload,
+    encode_payload,
+    unlink_ref,
+)
+
+
+class ProcessEdge:
+    """One logical producer->consumer connection across processes."""
+
+    def __init__(
+        self,
+        mpctx: Any,
+        name: str,
+        n_producers: int = 1,
+        n_consumers: int = 1,
+        capacity: int = 32,
+        policy: DistributionPolicy | None = None,
+        shm_min_bytes: int = DEFAULT_SHM_MIN_BYTES,
+    ) -> None:
+        if n_producers < 1 or n_consumers < 1:
+            raise ValueError("streams need at least one copy on each side")
+        self.name = name
+        self.n_producers = n_producers
+        self.n_consumers = n_consumers
+        self.policy = policy or RoundRobin()
+        self.shm_min_bytes = shm_min_bytes
+        # capacity 0 = unbounded (the collector endpoint, which must never
+        # exert backpressure on the last stage)
+        self._queues = [mpctx.Queue(maxsize=capacity) for _ in range(n_consumers)]
+        self._open = mpctx.Value("i", n_producers)
+        self.stats = StreamStats()
+        # per-consumer sentinel tally; after fork each consumer process
+        # owns its copy and only touches its own index
+        self._eos_seen = [0] * n_consumers
+
+    # -- producer side (called inside worker processes) ---------------------
+    def put(self, buf: Buffer) -> None:
+        self.stats.record(buf)
+        target = self.policy.choose(buf, self.n_consumers)
+        if target == -1:
+            # broadcast control traffic: one independently pickled copy per
+            # consumer (shared memory is single-consumer by design — the
+            # receiver unlinks the segment)
+            for q in self._queues:
+                q.put(Buffer(buf.payload, buf.packet, buf.kind, buf.origin))
+            return
+        payload, _names = encode_payload(buf.payload, self.shm_min_bytes)
+        self._queues[target].put(Buffer(payload, buf.packet, buf.kind, buf.origin))
+
+    def close_producer(self) -> None:
+        with self._open.get_lock():
+            self._open.value -= 1
+            if self._open.value < 0:
+                raise RuntimeError(f"stream {self.name}: too many closes")
+        # every producer broadcasts its own sentinel (see module docstring:
+        # it must ride this producer's FIFO, behind this producer's data)
+        for q in self._queues:
+            q.put(EndOfStream())
+
+    # -- consumer side -------------------------------------------------------
+    def get(self, consumer_index: int, timeout: float | None = None) -> Buffer | None:
+        """Next buffer for a consumer copy; ``None`` means end-of-stream
+        (all producer copies closed *and* their data fully drained)."""
+        while True:
+            item = self._queues[consumer_index].get(timeout=timeout)
+            if isinstance(item, EndOfStream):
+                self._eos_seen[consumer_index] += 1
+                if self._eos_seen[consumer_index] >= self.n_producers:
+                    return None
+                continue
+            item.payload = decode_payload(item.payload)
+            return item
+
+    def poll(self, consumer_index: int = 0) -> Buffer | EndOfStream:
+        """Non-blocking variant used by the supervisor's collector drain.
+        Returns an :class:`EndOfStream` only once the whole stream is
+        closed; raises :class:`queue.Empty` when nothing is pending."""
+        while True:
+            item = self._queues[consumer_index].get_nowait()
+            if isinstance(item, EndOfStream):
+                self._eos_seen[consumer_index] += 1
+                if self._eos_seen[consumer_index] >= self.n_producers:
+                    return item
+                continue
+            item.payload = decode_payload(item.payload)
+            return item
+
+    # -- teardown ------------------------------------------------------------
+    def reclaim(self) -> int:
+        """Drain undelivered buffers and unlink their shared-memory
+        segments (failed-run cleanup).  Returns segments reclaimed."""
+        reclaimed = 0
+        for q in self._queues:
+            while True:
+                try:
+                    item = q.get_nowait()
+                except (Empty, OSError, ValueError, EOFError):
+                    break
+                if isinstance(item, Buffer):
+                    for ref in collect_shm_refs(item.payload):
+                        unlink_ref(ref)
+                        reclaimed += 1
+        return reclaimed

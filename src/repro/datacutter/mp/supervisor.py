@@ -1,0 +1,194 @@
+"""Pipeline supervision: liveness, failure detection, clean teardown.
+
+The supervisor runs in the parent process alongside the workers.  Its
+loop interleaves four duties until the run completes or fails:
+
+1. drain the collector edge (the run's outputs must be consumed
+   continuously — the collector is unbounded, but leaving results in the
+   pipe would hold worker feeder threads alive);
+2. drain the control queue: error reports, per-stream statistics, and
+   ``done`` handshakes;
+3. watch process sentinels: a worker that exits without having sent
+   ``done`` was killed or crashed hard (segfault, ``os._exit``) — after a
+   short grace period for in-flight messages it is declared dead and the
+   run fails, naming the filter copy;
+4. enforce the optional wall-clock ``timeout``, using the workers'
+   heartbeat stamps to name the stalest filter in the error.
+
+On failure the supervisor terminates every surviving worker, reclaims
+undelivered shared-memory segments from all edges, and raises
+:class:`~repro.datacutter.runtime.PipelineError` carrying the failing
+filter's traceback (or kill diagnosis) — no hang, no orphan processes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from multiprocessing import connection
+from queue import Empty
+from typing import Any
+
+from ..buffers import Buffer, StreamStats
+from ..runtime import PipelineError
+from .channels import ProcessEdge
+from .transport import EndOfStream
+
+
+@dataclass(slots=True)
+class WorkerHandle:
+    """One spawned filter copy as the supervisor tracks it."""
+
+    process: Any
+    worker_id: int
+    label: str  # "filtername#copy"
+
+
+class Supervisor:
+    def __init__(
+        self,
+        workers: list[WorkerHandle],
+        control: Any,
+        collector: ProcessEdge,
+        edges: list[ProcessEdge],
+        heartbeats: Any,
+        timeout: float | None = None,
+        death_grace: float = 2.0,
+    ) -> None:
+        self.workers = workers
+        self.control = control
+        self.collector = collector
+        self.edges = edges
+        self.heartbeats = heartbeats
+        self.timeout = timeout
+        self.death_grace = death_grace
+        self.errors: list[str] = []
+        self.stats: dict[str, StreamStats] = {}
+        self._done: set[int] = set()
+        self._by_id = {w.worker_id: w for w in workers}
+
+    # ------------------------------------------------------------------ api
+    def supervise(self) -> list[Buffer]:
+        """Run to completion; returns outputs or raises PipelineError."""
+        outputs: list[Buffer] = []
+        eos_seen = False
+        pending_dead: dict[int, float] = {}
+        deadline = time.monotonic() + self.timeout if self.timeout else None
+
+        while True:
+            self._drain_control()
+            eos_seen = self._drain_collector(outputs) or eos_seen
+            if self.errors:
+                break
+            now = time.monotonic()
+            for w in self.workers:
+                if w.worker_id in self._done or w.worker_id in pending_dead:
+                    continue
+                if not w.process.is_alive():
+                    pending_dead[w.worker_id] = now
+            for wid, t_dead in pending_dead.items():
+                if wid in self._done:
+                    continue
+                if now - t_dead >= self.death_grace:
+                    w = self._by_id[wid]
+                    self.errors.append(
+                        f"filter {w.label} died without reporting "
+                        f"(exit code {w.process.exitcode}); "
+                        "the worker process was killed or crashed"
+                    )
+            if self.errors:
+                break
+            if eos_seen and len(self._done) == len(self.workers):
+                break
+            if deadline is not None and now > deadline:
+                self.errors.append(self._timeout_message())
+                break
+            sentinels = [
+                w.process.sentinel for w in self.workers if w.process.is_alive()
+            ]
+            if sentinels:
+                connection.wait(sentinels, timeout=0.02)
+            else:
+                time.sleep(0.005)
+
+        if self.errors:
+            self._teardown()
+            raise PipelineError("\n".join(self.errors))
+
+        for w in self.workers:
+            w.process.join(timeout=10)
+        stuck = [w.label for w in self.workers if w.process.is_alive()]
+        if stuck:  # pragma: no cover - 'done' arrived, so exit is imminent
+            self._teardown()
+            raise PipelineError(
+                f"workers did not exit after finishing: {', '.join(stuck)}"
+            )
+        return outputs
+
+    # ------------------------------------------------------------- internals
+    def _drain_control(self) -> None:
+        while True:
+            try:
+                msg = self.control.get_nowait()
+            except Empty:
+                return
+            except (OSError, ValueError, EOFError):  # pragma: no cover
+                return
+            kind = msg[0]
+            if kind == "error":
+                _, label, tb = msg
+                self.errors.append(f"filter {label} failed:\n{tb}")
+            elif kind == "stats":
+                _, _wid, stream, buffers, nbytes, by_packet = msg
+                agg = self.stats.setdefault(stream, StreamStats())
+                agg.buffers += buffers
+                agg.bytes += nbytes
+                for packet, size in by_packet.items():
+                    agg.by_packet[packet] = agg.by_packet.get(packet, 0) + size
+            elif kind == "done":
+                _, wid, _failed = msg
+                self._done.add(wid)
+
+    def _drain_collector(self, outputs: list[Buffer]) -> bool:
+        eos = False
+        while True:
+            try:
+                item = self.collector.poll(0)
+            except Empty:
+                return eos
+            except (OSError, ValueError, EOFError):  # pragma: no cover
+                return eos
+            if isinstance(item, EndOfStream):
+                eos = True
+            else:
+                outputs.append(item)
+
+    def _timeout_message(self) -> str:
+        now = time.monotonic()
+        unfinished = [w for w in self.workers if w.worker_id not in self._done]
+        stalest = max(
+            unfinished,
+            key=lambda w: now - self.heartbeats[w.worker_id],
+            default=None,
+        )
+        names = ", ".join(w.label for w in unfinished) or "<none>"
+        msg = f"pipeline timed out after {self.timeout:.1f}s; unfinished: {names}"
+        if stalest is not None:
+            age = now - self.heartbeats[stalest.worker_id]
+            msg += f"; stalest heartbeat: {stalest.label} ({age:.1f}s ago)"
+        return msg
+
+    def _teardown(self) -> None:
+        """Terminate survivors and reclaim in-flight shared memory."""
+        for w in self.workers:
+            if w.process.is_alive():
+                w.process.terminate()
+        for w in self.workers:
+            w.process.join(timeout=2)
+        for w in self.workers:
+            if w.process.is_alive():  # pragma: no cover - SIGTERM ignored
+                w.process.kill()
+                w.process.join(timeout=2)
+        for edge in self.edges:
+            edge.reclaim()
+        self._drain_control()

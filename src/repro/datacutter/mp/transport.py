@@ -1,0 +1,181 @@
+"""Shared-memory buffer transport for the process engine.
+
+Stream buffers crossing a process boundary are pickled through a
+``multiprocessing.Queue``.  Pickling a multi-megabyte NumPy payload copies
+it twice (serialize + deserialize) through a pipe with a small kernel
+buffer; for those payloads we instead park the bytes in a
+:class:`multiprocessing.shared_memory.SharedMemory` segment and send only
+a small :class:`ShmRef` descriptor.  The consumer attaches, copies the
+data out, closes, and unlinks the segment, so every segment lives exactly
+as long as one buffer is in flight.
+
+Small or irregular payloads (scalars, strings, objects, arrays below
+``DEFAULT_SHM_MIN_BYTES``) take the plain pickle path — for them the
+descriptor bookkeeping would cost more than it saves.
+
+The encoder walks the payload tree (dict / list / tuple containers) and
+replaces eligible leaves — contiguous ``ndarray`` without object dtype,
+``bytes``/``bytearray``/``memoryview`` — with descriptors; the decoder
+inverts the walk.  Teardown after a failed run uses
+:func:`collect_shm_refs` / :func:`unlink_ref` to reclaim segments whose
+consumer died before draining them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any
+
+import numpy as np
+
+#: payload leaves at or above this size ride shared memory (configurable
+#: per pipeline via ``ProcessPipeline(shm_min_bytes=...)``)
+DEFAULT_SHM_MIN_BYTES = 64 * 1024
+
+
+class EndOfStream:
+    """Queue sentinel: every producer copy of the stream has closed."""
+
+    __slots__ = ()
+
+
+@dataclass(slots=True)
+class ShmRef:
+    """Descriptor of one payload leaf parked in a shared-memory segment."""
+
+    name: str
+    nbytes: int
+    kind: str  # "ndarray" | "bytes"
+    #: np.lib.format descr (handles structured dtypes); None for bytes
+    dtype_descr: Any = None
+    shape: tuple = field(default_factory=tuple)
+
+
+def _park(raw_nbytes: int) -> shared_memory.SharedMemory:
+    # zero-size segments are rejected by the OS; never parked anyway
+    return shared_memory.SharedMemory(create=True, size=max(raw_nbytes, 1))
+
+
+def _handoff(seg: shared_memory.SharedMemory) -> None:
+    """Close the producer's mapping and drop its resource-tracker claim.
+
+    CPython registers a segment with the resource tracker on *attach* as
+    well as on create (bpo-39959).  Ownership of an in-flight segment
+    transfers producer -> consumer, so exactly one claim — the consumer's,
+    made when it attaches — should survive; without this unregister the
+    tracker warns about (already-unlinked) leaked segments at shutdown."""
+    seg.close()
+    try:
+        resource_tracker.unregister(seg._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker gone at shutdown
+        pass
+
+
+def encode_payload(
+    payload: Any, min_bytes: int = DEFAULT_SHM_MIN_BYTES
+) -> tuple[Any, list[str]]:
+    """Replace large leaves with :class:`ShmRef`; returns (tree, segment
+    names created) so a failed ``put`` can reclaim the segments."""
+    names: list[str] = []
+
+    def walk(obj: Any) -> Any:
+        if (
+            isinstance(obj, np.ndarray)
+            and obj.nbytes >= min_bytes
+            and not obj.dtype.hasobject
+        ):
+            arr = np.ascontiguousarray(obj)
+            seg = _park(arr.nbytes)
+            dst = np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)
+            dst[...] = arr
+            ref = ShmRef(
+                name=seg.name,
+                nbytes=arr.nbytes,
+                kind="ndarray",
+                dtype_descr=np.lib.format.dtype_to_descr(arr.dtype),
+                shape=tuple(arr.shape),
+            )
+            _handoff(seg)  # the segment persists until the consumer unlinks
+            names.append(ref.name)
+            return ref
+        if isinstance(obj, (bytes, bytearray, memoryview)) and len(obj) >= min_bytes:
+            raw = bytes(obj)
+            seg = _park(len(raw))
+            seg.buf[: len(raw)] = raw
+            ref = ShmRef(name=seg.name, nbytes=len(raw), kind="bytes")
+            _handoff(seg)
+            names.append(ref.name)
+            return ref
+        if isinstance(obj, dict):
+            return {k: walk(v) for k, v in obj.items()}
+        if isinstance(obj, list):
+            return [walk(v) for v in obj]
+        if isinstance(obj, tuple):
+            return tuple(walk(v) for v in obj)
+        return obj
+
+    return walk(payload), names
+
+
+def decode_payload(payload: Any) -> Any:
+    """Inverse of :func:`encode_payload`; unlinks each segment after the
+    copy-out, so decoding consumes the in-flight buffer."""
+
+    def walk(obj: Any) -> Any:
+        if isinstance(obj, ShmRef):
+            seg = shared_memory.SharedMemory(name=obj.name)
+            try:
+                if obj.kind == "ndarray":
+                    dtype = np.lib.format.descr_to_dtype(obj.dtype_descr)
+                    src = np.ndarray(obj.shape, dtype=dtype, buffer=seg.buf)
+                    value: Any = src.copy()
+                else:
+                    value = bytes(seg.buf[: obj.nbytes])
+            finally:
+                seg.close()
+                try:
+                    seg.unlink()
+                except FileNotFoundError:  # pragma: no cover - already gone
+                    pass
+            return value
+        if isinstance(obj, dict):
+            return {k: walk(v) for k, v in obj.items()}
+        if isinstance(obj, list):
+            return [walk(v) for v in obj]
+        if isinstance(obj, tuple):
+            return tuple(walk(v) for v in obj)
+        return obj
+
+    return walk(payload)
+
+
+def collect_shm_refs(payload: Any) -> list[ShmRef]:
+    """All descriptors inside a still-encoded payload (teardown sweep)."""
+    refs: list[ShmRef] = []
+
+    def walk(obj: Any) -> None:
+        if isinstance(obj, ShmRef):
+            refs.append(obj)
+        elif isinstance(obj, dict):
+            for v in obj.values():
+                walk(v)
+        elif isinstance(obj, (list, tuple)):
+            for v in obj:
+                walk(v)
+
+    walk(payload)
+    return refs
+
+
+def unlink_ref(ref: ShmRef) -> None:
+    """Best-effort reclamation of one segment (failed-run cleanup)."""
+    try:
+        seg = shared_memory.SharedMemory(name=ref.name)
+    except FileNotFoundError:
+        return
+    seg.close()
+    try:
+        seg.unlink()
+    except FileNotFoundError:  # pragma: no cover - racing cleanup
+        pass

@@ -1,0 +1,102 @@
+"""Worker-process entry point: one process per filter copy.
+
+Runs the same unit-of-work protocol as the threaded engine's
+``ThreadedPipeline._run_copy`` — ``init``, then either ``generate`` (source
+copies split packets round-robin) or a ``get``/``process`` loop until
+end-of-stream, then ``finalize`` — and reports to the supervisor over the
+control queue:
+
+* ``("error", label, traceback_text)`` when a filter callback raises;
+* ``("stats", worker_id, stream, buffers, bytes, by_packet)`` with the
+  producer-side accounting of its output edge;
+* ``("done", worker_id, failed)`` as the final message before exiting.
+
+A worker that is killed sends nothing — the supervisor detects that
+through the process sentinel and raises on the caller's side.  Each worker
+also stamps a heartbeat slot (monotonic seconds) before every packet so
+the supervisor's timeout diagnostics can name the slowest/stalled filter.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+import traceback
+from typing import Any
+
+from ..buffers import Buffer
+from ..filters import Filter, FilterContext, FilterSpec, SourceFilter
+from .channels import ProcessEdge
+
+
+def worker_main(
+    worker_id: int,
+    spec: FilterSpec,
+    copy_index: int,
+    in_edge: ProcessEdge | None,
+    out_edge: ProcessEdge,
+    control: Any,
+    heartbeats: Any,
+) -> None:
+    label = f"{spec.name}#{copy_index}"
+
+    def beat() -> None:
+        heartbeats[worker_id] = time.monotonic()
+
+    ctx = FilterContext(
+        name=spec.name,
+        copy_index=copy_index,
+        n_copies=spec.width,
+        emit=out_edge.put,
+        params=spec.params,
+    )
+    filt: Filter = spec.make()
+    failed = False
+    beat()
+    try:
+        filt.init(ctx)
+        if in_edge is None:
+            if not isinstance(filt, SourceFilter):
+                raise TypeError(f"first filter '{spec.name}' must be a SourceFilter")
+            for packet, payload in enumerate(filt.generate(ctx)):
+                beat()
+                if packet % spec.width == copy_index:
+                    if isinstance(payload, Buffer):
+                        out_edge.put(payload)
+                    else:
+                        ctx.write(payload, packet)
+        else:
+            while True:
+                buf = in_edge.get(copy_index)
+                beat()
+                if buf is None:
+                    break
+                filt.process(buf, ctx)
+        filt.finalize(ctx)
+    except BaseException:  # noqa: BLE001 - reported to the supervisor
+        failed = True
+        try:
+            control.put(("error", label, traceback.format_exc()))
+        except Exception:  # pragma: no cover - control pipe gone
+            pass
+    finally:
+        try:
+            out_edge.close_producer()
+        except Exception:  # pragma: no cover - queue torn down under us
+            pass
+        try:
+            control.put(
+                (
+                    "stats",
+                    worker_id,
+                    out_edge.name,
+                    out_edge.stats.buffers,
+                    out_edge.stats.bytes,
+                    dict(out_edge.stats.by_packet),
+                )
+            )
+            control.put(("done", worker_id, failed))
+        except Exception:  # pragma: no cover - control pipe gone
+            pass
+    if failed:
+        sys.exit(1)

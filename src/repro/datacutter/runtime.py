@@ -49,11 +49,19 @@ class PipelineError(RuntimeError):
 class ThreadedPipeline:
     """Executes one unit-of-work over a linear filter pipeline."""
 
-    def __init__(self, specs: Sequence[FilterSpec], queue_capacity: int = 32) -> None:
+    engine_name = "threaded"
+
+    def __init__(
+        self,
+        specs: Sequence[FilterSpec],
+        queue_capacity: int = 32,
+        join_timeout: float = 60.0,
+    ) -> None:
         if not specs:
             raise ValueError("pipeline needs at least one filter")
         self.specs = list(specs)
         self.queue_capacity = queue_capacity
+        self.join_timeout = join_timeout
 
     def run(self) -> RunResult:
         specs = self.specs
@@ -89,11 +97,27 @@ class ThreadedPipeline:
 
         for thread in threads:
             thread.start()
-        outputs = collector.results()
+        # Join *before* collecting: every copy closes its output stream in
+        # a finally block, so once all threads have exited the collector is
+        # guaranteed to hold EOS and results() cannot block — and stream
+        # stats are never read mid-flight.  (Joining first is safe because
+        # the collector queue is unbounded: the last stage never blocks on
+        # the sink, so the pipeline drains without the caller consuming.)
+        stuck: list[str] = []
         for thread in threads:
-            thread.join(timeout=60)
+            thread.join(timeout=self.join_timeout)
+            if thread.is_alive():
+                stuck.append(thread.name)
+        if stuck:
+            detail = "\n".join(errors) + "\n" if errors else ""
+            raise PipelineError(
+                f"{detail}filter copies still running after "
+                f"{self.join_timeout:.0f}s join timeout (stuck): "
+                f"{', '.join(stuck)}; their daemon threads were abandoned"
+            )
         if errors:
             raise PipelineError("\n".join(errors))
+        outputs = collector.results()
 
         result = RunResult(outputs=outputs)
         for stream in streams:
@@ -149,6 +173,6 @@ class ThreadedPipeline:
             out_stream.close_producer()
 
 
-def run_pipeline(specs: Sequence[FilterSpec], queue_capacity: int = 32) -> RunResult:
-    """Convenience wrapper: build and run a :class:`ThreadedPipeline`."""
-    return ThreadedPipeline(specs, queue_capacity).run()
+# run_pipeline moved to repro.datacutter.engine, where it dispatches over
+# the engine registry (threaded / process); re-exported unchanged from the
+# repro.datacutter package.

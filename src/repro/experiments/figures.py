@@ -172,10 +172,13 @@ def _iso_figure(
     paper: PaperSeries,
     num_packets: int,
     improvement_band: tuple[float, float],
+    engine: str = "threaded",
 ) -> FigureResult:
     app = make_zbuffer_app() if variant == "zbuffer" else make_active_pixels_app()
     workload = app.make_workload(dataset=dataset, num_packets=num_packets)
-    results = run_experiment(app, workload, ["Default", "Decomp-Comp"])
+    results = run_experiment(
+        app, workload, ["Default", "Decomp-Comp"], engine=engine
+    )
     fig = FigureResult(
         figure=figure,
         title=f"isosurface {variant}, {dataset} dataset",
@@ -191,7 +194,7 @@ def _iso_figure(
     return fig
 
 
-def figure5(num_packets: int = 16) -> FigureResult:
+def figure5(num_packets: int = 16, engine: str = "threaded") -> FigureResult:
     return _iso_figure(
         "Figure 5",
         "zbuffer",
@@ -204,10 +207,11 @@ def figure5(num_packets: int = 16) -> FigureResult:
         ),
         num_packets,
         improvement_band=(0.10, 4.0),
+        engine=engine,
     )
 
 
-def figure6(num_packets: int = 24) -> FigureResult:
+def figure6(num_packets: int = 24, engine: str = "threaded") -> FigureResult:
     return _iso_figure(
         "Figure 6",
         "zbuffer",
@@ -220,10 +224,11 @@ def figure6(num_packets: int = 24) -> FigureResult:
         ),
         num_packets,
         improvement_band=(0.10, 4.0),
+        engine=engine,
     )
 
 
-def figure7(num_packets: int = 16) -> FigureResult:
+def figure7(num_packets: int = 16, engine: str = "threaded") -> FigureResult:
     return _iso_figure(
         "Figure 7",
         "active-pixels",
@@ -234,10 +239,11 @@ def figure7(num_packets: int = 16) -> FigureResult:
         ),
         num_packets,
         improvement_band=(0.10, 8.0),
+        engine=engine,
     )
 
 
-def figure8(num_packets: int = 24) -> FigureResult:
+def figure8(num_packets: int = 24, engine: str = "threaded") -> FigureResult:
     return _iso_figure(
         "Figure 8",
         "active-pixels",
@@ -248,6 +254,7 @@ def figure8(num_packets: int = 24) -> FigureResult:
         ),
         num_packets,
         improvement_band=(0.10, 8.0),
+        engine=engine,
     )
 
 
@@ -257,12 +264,17 @@ def figure8(num_packets: int = 24) -> FigureResult:
 
 
 def _knn_figure(
-    figure: str, k: int, paper: PaperSeries, n_points: int, num_packets: int
+    figure: str,
+    k: int,
+    paper: PaperSeries,
+    n_points: int,
+    num_packets: int,
+    engine: str = "threaded",
 ) -> FigureResult:
     app = make_knn_app(k=k)
     workload = app.make_workload(n_points=n_points, num_packets=num_packets)
     results = run_experiment(
-        app, workload, ["Default", "Decomp-Comp", "Decomp-Manual"]
+        app, workload, ["Default", "Decomp-Comp", "Decomp-Manual"], engine=engine
     )
     fig = FigureResult(
         figure=figure,
@@ -280,7 +292,9 @@ def _knn_figure(
     return fig
 
 
-def figure9(n_points: int = 60_000, num_packets: int = 16) -> FigureResult:
+def figure9(
+    n_points: int = 60_000, num_packets: int = 16, engine: str = "threaded"
+) -> FigureResult:
     return _knn_figure(
         "Figure 9",
         3,
@@ -291,10 +305,13 @@ def figure9(n_points: int = 60_000, num_packets: int = 16) -> FigureResult:
         ),
         n_points,
         num_packets,
+        engine=engine,
     )
 
 
-def figure10(n_points: int = 60_000, num_packets: int = 16) -> FigureResult:
+def figure10(
+    n_points: int = 60_000, num_packets: int = 16, engine: str = "threaded"
+) -> FigureResult:
     return _knn_figure(
         "Figure 10",
         200,
@@ -305,6 +322,7 @@ def figure10(n_points: int = 60_000, num_packets: int = 16) -> FigureResult:
         ),
         n_points,
         num_packets,
+        engine=engine,
     )
 
 
@@ -320,11 +338,12 @@ def _vmscope_figure(
     num_packets: int,
     speedup_w2_band: tuple[float, float],
     speedup_w4_band: tuple[float, float],
+    engine: str = "threaded",
 ) -> FigureResult:
     app = make_vmscope_app()
     workload = app.make_workload(query=query, num_packets=num_packets)
     results = run_experiment(
-        app, workload, ["Default", "Decomp-Comp", "Decomp-Manual"]
+        app, workload, ["Default", "Decomp-Comp", "Decomp-Manual"], engine=engine
     )
     fig = FigureResult(
         figure=figure,
@@ -342,7 +361,7 @@ def _vmscope_figure(
     return fig
 
 
-def figure11(num_packets: int = 16) -> FigureResult:
+def figure11(num_packets: int = 16, engine: str = "threaded") -> FigureResult:
     return _vmscope_figure(
         "Figure 11",
         "small",
@@ -356,10 +375,11 @@ def figure11(num_packets: int = 16) -> FigureResult:
         # the paper's point: the small query does NOT scale well
         speedup_w2_band=(0.7, 2.1),
         speedup_w4_band=(0.7, 3.0),
+        engine=engine,
     )
 
 
-def figure12(num_packets: int = 16) -> FigureResult:
+def figure12(num_packets: int = 16, engine: str = "threaded") -> FigureResult:
     return _vmscope_figure(
         "Figure 12",
         "large",
@@ -372,6 +392,7 @@ def figure12(num_packets: int = 16) -> FigureResult:
         num_packets,
         speedup_w2_band=(1.2, 2.1),
         speedup_w4_band=(1.4, 4.4),
+        engine=engine,
     )
 
 
@@ -387,9 +408,11 @@ ALL_FIGURES = {
 }
 
 
-def run_all(fast: bool = True) -> dict[str, FigureResult]:
+def run_all(
+    fast: bool = True, engine: str = "threaded"
+) -> dict[str, FigureResult]:
     """Run every evaluation figure (used by EXPERIMENTS.md regeneration)."""
     out: dict[str, FigureResult] = {}
     for name, fn in ALL_FIGURES.items():
-        out[name] = fn()
+        out[name] = fn(engine=engine)
     return out

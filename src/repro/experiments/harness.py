@@ -31,8 +31,9 @@ from typing import Any, Callable, Sequence
 from ..codegen.runtime_support import FINAL_PACKET
 from ..core.compiler import CompileOptions, compile_source, default_plan
 from ..cost.environment import PipelineEnv, cluster_config
+from ..datacutter.engine import run_pipeline
 from ..datacutter.filters import Filter, FilterContext, FilterSpec, SourceFilter
-from ..datacutter.runtime import RunResult, run_pipeline
+from ..datacutter.runtime import RunResult
 from ..datacutter.simulation import SimReport, simulate_pipeline
 from ..decompose.plan import DecompositionPlan
 from .. import apps as _apps  # noqa: F401 - re-export convenience
@@ -47,16 +48,41 @@ VERSIONS = ("Default", "Decomp-Comp", "Decomp-Manual")
 
 
 class TimeAccumulator:
-    """Thread-safe per-(filter, packet) CPU-time accumulator."""
+    """Per-(filter, packet) CPU-time accumulator.
 
-    def __init__(self) -> None:
+    Thread-safe by default.  For the process engine, pass a
+    ``multiprocessing`` queue as ``sink``: timed filters run inside worker
+    processes, so samples are shipped over the queue and folded back in
+    with :meth:`absorb` once the run completes (worker processes flush
+    their queue feeders on exit, so post-run draining sees every sample).
+    """
+
+    def __init__(self, sink: Any | None = None) -> None:
         self._lock = threading.Lock()
+        self._sink = sink
         self.seconds: dict[str, dict[int, float]] = {}
 
     def add(self, name: str, packet: int, dt: float) -> None:
+        if self._sink is not None:
+            self._sink.put((name, packet, dt))
+            return
         with self._lock:
             per = self.seconds.setdefault(name, {})
             per[packet] = per.get(packet, 0.0) + dt
+
+    def absorb(self) -> None:
+        """Drain the sink queue into the local table (parent side)."""
+        if self._sink is None:
+            return
+        from queue import Empty
+
+        sink, self._sink = self._sink, None
+        while True:
+            try:
+                name, packet, dt = sink.get(timeout=0.25)
+            except Empty:
+                break
+            self.add(name, packet, dt)
 
     def total(self, name: str) -> float:
         return sum(self.seconds.get(name, {}).values())
@@ -233,6 +259,7 @@ def measure_version(
     check: bool = True,
     objective: str = "total",
     warmup: bool = True,
+    engine: str = "threaded",
 ) -> MeasuredRun:
     """Run one version once (width 1 everywhere) and measure it.
 
@@ -242,7 +269,14 @@ def measure_version(
     env = env or cluster_config(1)
     specs, _result = _specs_for_version(app, workload, version, env, objective)
     return measure_specs(
-        specs, _result, workload, env, version, check=check, warmup=warmup
+        specs,
+        _result,
+        workload,
+        env,
+        version,
+        check=check,
+        warmup=warmup,
+        engine=engine,
     )
 
 
@@ -254,12 +288,21 @@ def measure_specs(
     version: str,
     check: bool = True,
     warmup: bool = True,
+    engine: str = "threaded",
 ) -> MeasuredRun:
     """Measure an already-built spec list (see :func:`measure_version`)."""
     if warmup:
-        run_pipeline(specs)
-    acc = TimeAccumulator()
-    run = run_pipeline(timed_specs(specs, acc))
+        run_pipeline(specs, engine=engine)
+    if engine == "threaded":
+        acc = TimeAccumulator()
+    else:
+        # timed filters run in worker processes: ship samples back over an
+        # inherited mp queue (see TimeAccumulator.absorb)
+        import multiprocessing
+
+        acc = TimeAccumulator(sink=multiprocessing.get_context("fork").Queue())
+    run = run_pipeline(timed_specs(specs, acc), engine=engine)
+    acc.absorb()
 
     correct = True
     if check:
@@ -385,6 +428,7 @@ def run_experiment(
     versions: Sequence[str],
     configs: dict[str, PipelineEnv] | None = None,
     check: bool = True,
+    engine: str = "threaded",
 ) -> dict[str, VersionTimes]:
     """Measure each version once, simulate each configuration."""
     if configs is None:
@@ -400,7 +444,7 @@ def run_experiment(
     calib_version = "Decomp-Comp" if "Decomp-Comp" in versions else versions[0]
     calib_env = next(iter(configs.values()))
     calib = measure_version(
-        app, workload, calib_version, env=calib_env, check=False
+        app, workload, calib_version, env=calib_env, check=False, engine=engine
     )
     net_scale = calibrate_net_scale(calib)
     # Decomposition is environment-dependent (§4.1): compile per
@@ -415,7 +459,7 @@ def run_experiment(
             key = (version, plan_key)
             if key not in cache:
                 cache[key] = measure_specs(
-                    specs, result, workload, env, version, check=check
+                    specs, result, workload, env, version, check=check, engine=engine
                 )
             measured = cache[key]
             vt.times[config_name] = simulate_measured(
