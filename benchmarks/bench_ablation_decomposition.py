@@ -22,7 +22,7 @@ from repro.core.compiler import (
     source_only_plan,
 )
 from repro.cost import cluster_config
-from repro.decompose import DecompositionPlan, enumerate_plans
+from repro.decompose import enumerate_plans
 
 
 @pytest.fixture(scope="module")

@@ -10,7 +10,6 @@ time per element decreases from N=1 to moderate N.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.apps import make_knn_app
 from repro.core.compiler import CompileOptions, analyze_source, compute_problem, decompose

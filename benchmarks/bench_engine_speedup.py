@@ -23,7 +23,13 @@ import pytest
 
 from repro.apps import make_knn_app, make_zbuffer_app
 from repro.cost import cluster_config
-from repro.datacutter import Filter, FilterSpec, SourceFilter, run_pipeline
+from repro.datacutter import (
+    EngineOptions,
+    Filter,
+    FilterSpec,
+    SourceFilter,
+    run_pipeline,
+)
 from repro.experiments.harness import _specs_for_version
 
 MIN_CORES_FOR_ASSERT = 4
@@ -102,13 +108,15 @@ def app_specs(which: str, num_packets: int):
 
 
 def _makespan(make_specs, engine: str, repeats: int = 3) -> float:
-    opts = {"timeout": PROC_TIMEOUT} if engine == "process" else {}
-    run_pipeline(make_specs(), engine=engine, **opts)  # warm
+    opts = EngineOptions(
+        engine=engine, timeout=PROC_TIMEOUT if engine == "process" else None
+    )
+    run_pipeline(make_specs(), opts)  # warm
     best = float("inf")
     for _ in range(repeats):
         specs = make_specs()  # fresh stateful filter instances per run
         t0 = time.perf_counter()
-        run_pipeline(specs, engine=engine, **opts)
+        run_pipeline(specs, opts)
         best = min(best, time.perf_counter() - t0)
     return best
 

@@ -8,6 +8,11 @@ Commands:
 * ``run APP`` — compile one bundled application, execute it on an
   execution engine (``--engine threaded|process``), verify the output
   against the sequential oracle, and print stream accounting.
+* ``trace APP`` — run one application with engine-native tracing and
+  write the trace to disk: Chrome ``trace_event`` JSON (load in
+  chrome://tracing or https://ui.perfetto.dev) or JSON lines.  Also
+  prints the trace summary and, for compiled versions, the §4.3
+  measured-vs-predicted cost-model table.
 * ``figures [NAMES...]`` — reproduce the paper's evaluation figures
   (default: all of fig5..fig12) and print paper-vs-measured reports.
 * ``apps`` — list the bundled evaluation applications.
@@ -60,7 +65,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     from . import apps as apps_mod
     from .cost.environment import cluster_config
-    from .datacutter import run_pipeline
+    from .datacutter import EngineOptions, run_pipeline
     from .experiments.harness import _specs_for_version
 
     if args.packets < 1 or args.width < 1:
@@ -72,7 +77,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     env = cluster_config(args.width)
     specs, _result = _specs_for_version(app, workload, args.version, env)
     t0 = time.perf_counter()
-    run = run_pipeline(specs, engine=args.engine)
+    run = run_pipeline(specs, options=EngineOptions(engine=args.engine))
     elapsed = time.perf_counter() - t0
     finals = run.payloads[-1]
     ok = workload.check(finals, workload.oracle())
@@ -87,6 +92,64 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
     print(f"  oracle check: {'OK' if ok else 'MISMATCH'}")
     return 0 if ok else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from . import apps as apps_mod
+    from .cost.environment import cluster_config
+    from .datacutter import EngineOptions
+    from .datacutter.obs import (
+        to_chrome,
+        validate_chrome_trace,
+        write_chrome,
+        write_jsonl,
+    )
+    from .experiments.harness import (
+        _specs_for_version,
+        measure_specs,
+        validate_cost_model,
+    )
+
+    if args.packets < 1 or args.width < 1:
+        print("trace: --packets and --width must be >= 1")
+        return 2
+    factory_name, workload_defaults = _APP_FACTORIES[args.app]
+    app = getattr(apps_mod, factory_name)()
+    workload = app.make_workload(num_packets=args.packets, **workload_defaults)
+    env = cluster_config(args.width)
+    specs, result = _specs_for_version(app, workload, args.version, env)
+    measured = measure_specs(
+        specs,
+        result,
+        workload,
+        env,
+        args.version,
+        warmup=False,
+        options=EngineOptions(engine=args.engine),
+    )
+    trace = measured.trace
+
+    if args.format == "chrome":
+        errors = validate_chrome_trace(to_chrome(trace))
+        if errors:  # pragma: no cover - exporter bug guard
+            print("trace: internal error, invalid chrome export:")
+            for err in errors:
+                print(f"  {err}")
+            return 1
+        write_chrome(trace, args.out)
+    else:
+        write_jsonl(trace, args.out)
+    print(f"{app.name} / {args.version} on the {args.engine} engine")
+    print(trace.summary())
+    print(f"trace written to {args.out} ({args.format})")
+    if result is not None:
+        report = validate_cost_model(result, measured)
+        report.app = app.name
+        print()
+        print(report.summary())
+        print(report.table())
+    print(f"oracle check: {'OK' if measured.correct else 'MISMATCH'}")
+    return 0 if measured.correct else 1
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
@@ -175,6 +238,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--packets", type=int, default=8, help="number of input packets"
     )
     p_run.set_defaults(fn=_cmd_run)
+
+    p_trace = sub.add_parser(
+        "trace", help="run one application with tracing and export the trace"
+    )
+    p_trace.add_argument("app", choices=sorted(_APP_FACTORIES))
+    p_trace.add_argument(
+        "--engine",
+        choices=["threaded", "process"],
+        default="threaded",
+        help="execution engine to trace",
+    )
+    p_trace.add_argument(
+        "--version",
+        choices=["Default", "Decomp-Comp", "Decomp-Manual"],
+        default="Decomp-Comp",
+        help="pipeline version to run",
+    )
+    p_trace.add_argument(
+        "--width", type=int, default=1, help="pipeline width (w-w-1 config)"
+    )
+    p_trace.add_argument(
+        "--packets", type=int, default=8, help="number of input packets"
+    )
+    p_trace.add_argument(
+        "-o",
+        "--out",
+        default="trace.json",
+        help="output path (default trace.json)",
+    )
+    p_trace.add_argument(
+        "--format",
+        choices=["chrome", "jsonl"],
+        default="chrome",
+        help="chrome = trace_event JSON for chrome://tracing / Perfetto; "
+        "jsonl = one span/sample per line",
+    )
+    p_trace.set_defaults(fn=_cmd_trace)
 
     p_fig = sub.add_parser("figures", help="reproduce evaluation figures")
     p_fig.add_argument("names", nargs="*", help="fig5 .. fig12 (default all)")

@@ -20,7 +20,7 @@ boundaries.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Hashable, Iterator
 
 from .boundaries import AtomicFilter, FilterChain

@@ -30,7 +30,6 @@ from ..lang.typecheck import CheckedProgram, MethodSig, NativeSig
 from ..lang.types import PrimType
 from .boundaries import AtomicFilter
 from .gencons import GenConsAnalyzer
-from .values import SymExpr
 from .workload import WorkloadProfile
 
 _FLOAT_NAMES = ("float", "double")

@@ -38,7 +38,7 @@ from ..lang.types import (
     RectdomainType,
     VarSymbol,
 )
-from .boundaries import AtomicFilter, Boundary, FilterChain
+from .boundaries import Boundary, FilterChain
 from .gencons import GenConsAnalyzer, SegmentFacts
 from .values import AccessPath, ElemSel, FieldSel, PathSet
 from .workload import WorkloadProfile

@@ -18,7 +18,6 @@ import numpy as np
 
 from ..analysis.workload import WorkloadProfile
 from ..codegen.generated_registry import register_generated
-from ..codegen.runtime_support import RawPacket
 from ..datacutter.buffers import Buffer
 from ..datacutter.filters import Filter, FilterContext, FilterSpec, SourceFilter
 from ..lang.intrinsics import Intrinsic, IntrinsicRegistry, OpCount

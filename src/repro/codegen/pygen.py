@@ -27,7 +27,7 @@ import numpy as np
 
 from ..lang import ast
 from ..lang.typecheck import CheckedProgram, MethodSig, NativeSig
-from ..lang.types import ArrayType, ClassType, PrimType, VarSymbol
+from ..lang.types import ArrayType, PrimType, VarSymbol
 from .layout import _DTYPES, mangle
 
 _PREC_PY = {

@@ -77,22 +77,39 @@ class CompilationResult:
         packets,
         params: dict | None = None,
         widths=None,
-        engine: str | None = None,
-        **engine_options,
+        options=None,
+        **legacy,
     ):
         """Run the compiled pipeline on an execution engine.
 
-        ``engine`` overrides ``options.engine`` (``"threaded"`` |
-        ``"process"``); extra keyword options go to the engine factory
-        (e.g. ``timeout=`` for the process supervisor).  Returns the
-        engine's :class:`~repro.datacutter.runtime.RunResult`.
+        ``options`` is an :class:`~repro.datacutter.engine.EngineOptions`;
+        when omitted, the compile-time default engine
+        (``CompileOptions.engine``) is used.  Legacy keyword arguments
+        (``engine=``, ``queue_capacity=``, ``timeout=``, ...) still work
+        but emit a :class:`DeprecationWarning`.  Returns the engine's
+        :class:`~repro.datacutter.runtime.RunResult`.
         """
-        from ..datacutter.engine import run_pipeline
-
-        specs = self.pipeline.specs(packets, params, widths)
-        return run_pipeline(
-            specs, engine=engine or self.options.engine, **engine_options
+        from ..datacutter.engine import (
+            EngineOptions,
+            coerce_engine_options,
+            run_pipeline,
         )
+
+        if options is None and not legacy:
+            options = EngineOptions(engine=self.options.engine)
+        elif not isinstance(options, EngineOptions):
+            # legacy call: engine="..." / queue_capacity=... kwargs, or the
+            # old positional-string engine argument
+            if options is None:
+                legacy.setdefault("engine", self.options.engine)
+            options = coerce_engine_options(options, legacy, stacklevel=3)
+        elif legacy:
+            raise TypeError(
+                "pass either options=EngineOptions(...) or legacy keyword "
+                f"arguments, not both (got {sorted(legacy)})"
+            )
+        specs = self.pipeline.specs(packets, params, widths)
+        return run_pipeline(specs, options=options)
 
     def report(self) -> str:
         """Human-readable compilation report (atoms, volumes, plan)."""

@@ -12,7 +12,7 @@ transparent copies available at that stage (the paper's 1-1-1 / 2-2-1 /
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Iterator, Sequence
 
 

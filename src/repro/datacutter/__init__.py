@@ -15,8 +15,9 @@ from .filters import (
     FunctionFilter,
     SourceFilter,
 )
-from .engine import ENGINES, Engine, make_engine, run_pipeline
+from .engine import ENGINES, Engine, EngineOptions, make_engine, run_pipeline
 from .mp import ProcessPipeline
+from .obs import Trace, TraceCollector
 from .placement import PlacedPipeline
 from .runtime import PipelineError, RunResult, ThreadedPipeline
 from .simulation import (
@@ -45,6 +46,7 @@ __all__ = [
     "DistributionPolicy",
     "ENGINES",
     "Engine",
+    "EngineOptions",
     "Filter",
     "FilterContext",
     "FilterSpec",
@@ -60,6 +62,8 @@ __all__ = [
     "SourceFilter",
     "StreamStats",
     "ThreadedPipeline",
+    "Trace",
+    "TraceCollector",
     "make_engine",
     "multi_server_fifo",
     "payload_nbytes",

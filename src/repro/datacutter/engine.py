@@ -1,4 +1,4 @@
-"""Engine protocol and selection: one switch between execution substrates.
+"""Engine selection and the consolidated run API.
 
 Every execution engine runs the same placed :class:`FilterSpec` pipelines
 and returns the same :class:`RunResult`; they differ only in *where* the
@@ -7,22 +7,38 @@ filter copies run:
 * ``"threaded"`` — :class:`~repro.datacutter.runtime.ThreadedPipeline`:
   one thread per copy.  Cheap to start, shares memory freely, but
   CPU-bound filters serialize behind the GIL — use it for correctness
-  runs, measurement (per-filter timing), and I/O-bound filters.
+  runs and I/O-bound filters.
 * ``"process"`` — :class:`~repro.datacutter.mp.ProcessPipeline`: one
   process per copy with shared-memory buffer transport.  True parallelism
   for CPU-bound pipelines at the cost of process startup and one
   copy-in/copy-out per large buffer.
 
-``run_pipeline(specs, engine="process")`` is the one-line switch; the
-:data:`ENGINES` registry is open so later substrates (multi-host
-transport, work stealing) plug in without touching call sites.
+:class:`EngineOptions` is the single way to configure a run::
+
+    run_pipeline(specs, EngineOptions(engine="process", trace=Trace()))
+
+It replaces the scattered ``queue_capacity=``/``engine=``/``timeout=``
+keyword arguments previously threaded through ``run_pipeline``,
+``make_engine``, ``CompilationResult.execute``, and the experiment
+harness.  The legacy keywords still work for one release through a
+deprecation shim (:func:`coerce_engine_options`) that emits
+``DeprecationWarning``.
+
+The :data:`ENGINES` registry is open so later substrates (multi-host
+transport, work stealing) plug in without touching call sites; a factory
+takes ``(specs, options)`` and returns an :class:`Engine`.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import warnings
+from dataclasses import dataclass
 from typing import Any, Callable, Protocol, Sequence, runtime_checkable
 
 from .filters import FilterSpec
+from .mp.transport import DEFAULT_SHM_MIN_BYTES
+from .obs.trace import TraceCollector
 from .runtime import RunResult, ThreadedPipeline
 
 
@@ -36,42 +52,150 @@ class Engine(Protocol):
         ...
 
 
-def _make_process(specs: Sequence[FilterSpec], **opts: Any) -> Engine:
+@dataclass(frozen=True, slots=True)
+class EngineOptions:
+    """Everything that configures one pipeline run, in one place.
+
+    Engine-specific knobs are simply ignored by the other engine
+    (``join_timeout`` is threaded-only; ``timeout``, ``shm_min_bytes``
+    and ``death_grace`` belong to the process supervisor), so one options
+    object can drive the same pipeline on either engine — which is what
+    lets tracing and measurement work identically on both.
+    """
+
+    #: execution substrate: a key of :data:`ENGINES`
+    engine: str = "threaded"
+    #: per-consumer stream queue bound (the backpressure window)
+    queue_capacity: int = 32
+    #: threaded engine: seconds to wait for filter threads before
+    #: declaring the pipeline stuck
+    join_timeout: float = 60.0
+    #: process engine: optional wall-clock cap enforced by the supervisor
+    timeout: float | None = None
+    #: process engine: payload leaves at or above this ride shared memory
+    shm_min_bytes: int = DEFAULT_SHM_MIN_BYTES
+    #: process engine: grace seconds between a worker dying silently and
+    #: the run being failed
+    death_grace: float = 2.0
+    #: observability sink fed by the engine (see repro.datacutter.obs);
+    #: None disables tracing
+    trace: TraceCollector | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.engine, str) or not self.engine:
+            raise ValueError("engine must be a non-empty engine name")
+        if self.queue_capacity < 1:
+            # queue.Queue(0) would silently mean *unbounded*, removing all
+            # backpressure — reject it loudly instead
+            raise ValueError(
+                f"queue_capacity must be >= 1, got {self.queue_capacity} "
+                "(capacity 0 would silently disable backpressure)"
+            )
+
+    def replace(self, **changes: Any) -> "EngineOptions":
+        """A copy with the given fields changed."""
+        return dataclasses.replace(self, **changes)
+
+
+_OPTION_FIELDS = frozenset(f.name for f in dataclasses.fields(EngineOptions))
+
+
+def coerce_engine_options(
+    options: EngineOptions | str | int | None,
+    legacy: dict[str, Any],
+    stacklevel: int = 3,
+) -> EngineOptions:
+    """Deprecation shim: fold legacy keyword arguments into EngineOptions.
+
+    Accepts the pre-redesign calling conventions — ``engine="process"`` /
+    ``queue_capacity=16`` keywords, a bare engine name where ``options``
+    goes (``make_engine(specs, "process")``), or a bare capacity int
+    (``run_pipeline(specs, 16)``) — emitting ``DeprecationWarning`` for
+    each.  Passing both an :class:`EngineOptions` and legacy keywords is
+    an error rather than a guess."""
+    if isinstance(options, str):
+        legacy = {"engine": options, **legacy}
+        options = None
+    elif isinstance(options, int):
+        legacy = {"queue_capacity": options, **legacy}
+        options = None
+    if options is not None:
+        if legacy:
+            raise TypeError(
+                "pass either options=EngineOptions(...) or legacy keyword "
+                f"arguments, not both (got {sorted(legacy)})"
+            )
+        return options
+    if not legacy:
+        return EngineOptions()
+    unknown = set(legacy) - _OPTION_FIELDS
+    if unknown:
+        raise TypeError(f"unknown engine option(s): {sorted(unknown)}")
+    warnings.warn(
+        f"engine keyword arguments {sorted(legacy)} are deprecated; pass "
+        "options=EngineOptions(...) instead",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+    return EngineOptions(**legacy)
+
+
+def _make_threaded(specs: Sequence[FilterSpec], opts: EngineOptions) -> Engine:
+    return ThreadedPipeline(
+        specs,
+        queue_capacity=opts.queue_capacity,
+        join_timeout=opts.join_timeout,
+        trace=opts.trace,
+    )
+
+
+def _make_process(specs: Sequence[FilterSpec], opts: EngineOptions) -> Engine:
     from .mp.engine import ProcessPipeline  # deferred: keeps import light
 
-    return ProcessPipeline(specs, **opts)
+    return ProcessPipeline(
+        specs,
+        queue_capacity=opts.queue_capacity,
+        shm_min_bytes=opts.shm_min_bytes,
+        timeout=opts.timeout,
+        death_grace=opts.death_grace,
+        trace=opts.trace,
+    )
 
 
-#: engine name -> factory(specs, **options) -> Engine
-ENGINES: dict[str, Callable[..., Engine]] = {
-    "threaded": ThreadedPipeline,
+#: engine name -> factory(specs, options) -> Engine
+ENGINES: dict[str, Callable[[Sequence[FilterSpec], EngineOptions], Engine]] = {
+    "threaded": _make_threaded,
     "process": _make_process,
 }
 
 
 def make_engine(
     specs: Sequence[FilterSpec],
-    engine: str = "threaded",
-    queue_capacity: int = 32,
-    **options: Any,
+    options: EngineOptions | None = None,
+    **legacy: Any,
 ) -> Engine:
-    """Instantiate the named engine over ``specs``."""
+    """Instantiate the configured engine over ``specs``."""
+    opts = coerce_engine_options(options, legacy, stacklevel=3)
     try:
-        factory = ENGINES[engine]
+        factory = ENGINES[opts.engine]
     except KeyError:
         known = ", ".join(sorted(ENGINES))
-        raise ValueError(f"unknown engine {engine!r}; known engines: {known}")
-    return factory(specs, queue_capacity=queue_capacity, **options)
+        # `from None`: the KeyError is an implementation detail of the
+        # registry lookup, not context the caller can use
+        raise ValueError(
+            f"unknown engine {opts.engine!r}; known engines: {known}"
+        ) from None
+    return factory(specs, opts)
 
 
 def run_pipeline(
     specs: Sequence[FilterSpec],
-    queue_capacity: int = 32,
-    engine: str = "threaded",
-    **options: Any,
+    options: EngineOptions | None = None,
+    **legacy: Any,
 ) -> RunResult:
-    """Build and run a pipeline on the selected engine (the main entry
-    point; ``engine="threaded"`` preserves the historical behaviour)."""
+    """Build and run a pipeline on the configured engine (the main entry
+    point; the default ``EngineOptions()`` preserves the historical
+    threaded behaviour)."""
     return make_engine(
-        specs, engine=engine, queue_capacity=queue_capacity, **options
+        specs, coerce_engine_options(options, legacy, stacklevel=3)
     ).run()

@@ -1,7 +1,9 @@
 """Process-parallel execution engine (shared-memory transport + supervision).
 
 The multiprocess counterpart of the threaded local engine: same
-``FilterSpec`` pipelines, same ``RunResult``, true parallelism.  See
+``FilterSpec`` pipelines, same ``RunResult``, same engine-native tracing
+(worker-side event buffers merged by the supervisor — see
+:mod:`repro.datacutter.obs`), true parallelism.  See
 :mod:`repro.datacutter.mp.engine` for the architecture overview.
 """
 

@@ -29,10 +29,12 @@ behaviour:
 
 from __future__ import annotations
 
+import time
 from queue import Empty
 from typing import Any
 
 from ..buffers import Buffer, StreamStats
+from ..obs.trace import TraceCollector, record_queue_op
 from ..streams import DistributionPolicy, RoundRobin
 from .transport import (
     DEFAULT_SHM_MIN_BYTES,
@@ -69,9 +71,20 @@ class ProcessEdge:
         self._queues = [mpctx.Queue(maxsize=capacity) for _ in range(n_consumers)]
         self._open = mpctx.Value("i", n_producers)
         self.stats = StreamStats()
+        #: worker-local trace buffer; ``None`` in the parent.  Each forked
+        #: worker owns a private copy of this edge object and attaches its
+        #: own collector (see worker_main), so gauges recorded here never
+        #: race across processes.
+        self.trace: TraceCollector | None = None
         # per-consumer sentinel tally; after fork each consumer process
         # owns its copy and only touches its own index
         self._eos_seen = [0] * n_consumers
+
+    def _depth(self, q: Any) -> int:
+        try:
+            return q.qsize()
+        except (NotImplementedError, OSError):  # pragma: no cover - macOS
+            return -1
 
     # -- producer side (called inside worker processes) ---------------------
     def put(self, buf: Buffer) -> None:
@@ -85,7 +98,16 @@ class ProcessEdge:
                 q.put(Buffer(buf.payload, buf.packet, buf.kind, buf.origin))
             return
         payload, _names = encode_payload(buf.payload, self.shm_min_bytes)
-        self._queues[target].put(Buffer(payload, buf.packet, buf.kind, buf.origin))
+        trace = self.trace
+        q = self._queues[target]
+        if trace is None:
+            q.put(Buffer(payload, buf.packet, buf.kind, buf.origin))
+            return
+        t0 = time.perf_counter()
+        q.put(Buffer(payload, buf.packet, buf.kind, buf.origin))
+        record_queue_op(
+            trace, self.name, "put", t0, time.perf_counter(), self._depth(q)
+        )
 
     def close_producer(self) -> None:
         with self._open.get_lock():
@@ -101,8 +123,22 @@ class ProcessEdge:
     def get(self, consumer_index: int, timeout: float | None = None) -> Buffer | None:
         """Next buffer for a consumer copy; ``None`` means end-of-stream
         (all producer copies closed *and* their data fully drained)."""
+        trace = self.trace
+        q = self._queues[consumer_index]
         while True:
-            item = self._queues[consumer_index].get(timeout=timeout)
+            if trace is None:
+                item = q.get(timeout=timeout)
+            else:
+                t0 = time.perf_counter()
+                item = q.get(timeout=timeout)
+                record_queue_op(
+                    trace,
+                    self.name,
+                    "get",
+                    t0,
+                    time.perf_counter(),
+                    self._depth(q),
+                )
             if isinstance(item, EndOfStream):
                 self._eos_seen[consumer_index] += 1
                 if self._eos_seen[consumer_index] >= self.n_producers:

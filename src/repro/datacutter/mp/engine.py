@@ -21,9 +21,13 @@ threads do, so *any* pipeline the threaded engine can run, this engine
 can run.  On platforms without ``fork`` construction raises a
 ``PipelineError`` telling the caller to use the threaded engine.
 
-Results, stream statistics, and error semantics mirror the threaded
-engine: ``run()`` returns the same :class:`RunResult` shape, and a failing
-filter copy raises :class:`PipelineError` carrying the original traceback.
+Results, stream statistics, error semantics, and observability mirror the
+threaded engine: ``run()`` returns the same :class:`RunResult` shape, a
+failing filter copy raises :class:`PipelineError` carrying the original
+traceback, and with a trace collector configured every worker buffers its
+spans and queue gauges locally and ships them over the control queue for
+the supervisor to merge — so process-engine traces are as complete as
+threaded ones (see :mod:`repro.datacutter.obs`).
 """
 
 from __future__ import annotations
@@ -32,6 +36,7 @@ import multiprocessing
 from typing import Sequence
 
 from ..filters import FilterSpec
+from ..obs.trace import TraceCollector
 from ..runtime import PipelineError, RunResult
 from ..streams import RoundRobin
 from .channels import ProcessEdge
@@ -52,14 +57,21 @@ class ProcessPipeline:
         shm_min_bytes: int = DEFAULT_SHM_MIN_BYTES,
         timeout: float | None = None,
         death_grace: float = 2.0,
+        trace: TraceCollector | None = None,
     ) -> None:
         if not specs:
             raise ValueError("pipeline needs at least one filter")
+        if queue_capacity < 1:
+            raise ValueError(
+                f"queue_capacity must be >= 1, got {queue_capacity} "
+                "(capacity 0 would silently disable backpressure)"
+            )
         self.specs = list(specs)
         self.queue_capacity = queue_capacity
         self.shm_min_bytes = shm_min_bytes
         self.timeout = timeout
         self.death_grace = death_grace
+        self.trace = trace
 
     def run(self) -> RunResult:
         try:
@@ -70,6 +82,8 @@ class ProcessPipeline:
                 "(generated filter classes are not picklable); "
                 "use engine='threaded' on this platform"
             ) from err
+        if self.trace is not None:
+            self.trace.note(engine=self.engine_name)
 
         specs = self.specs
         edges: list[ProcessEdge] = []
@@ -116,6 +130,7 @@ class ProcessPipeline:
                         out_edge,
                         control,
                         heartbeats,
+                        self.trace is not None,
                     ),
                     name=f"{spec.name}#{copy_index}",
                     daemon=True,
@@ -137,6 +152,7 @@ class ProcessPipeline:
             heartbeats,
             timeout=self.timeout,
             death_grace=self.death_grace,
+            trace=self.trace,
         )
         for w in workers:
             w.process.start()

@@ -30,6 +30,7 @@ from queue import Empty
 from typing import Any
 
 from ..buffers import Buffer, StreamStats
+from ..obs.trace import TraceCollector
 from ..runtime import PipelineError
 from .channels import ProcessEdge
 from .transport import EndOfStream
@@ -54,6 +55,7 @@ class Supervisor:
         heartbeats: Any,
         timeout: float | None = None,
         death_grace: float = 2.0,
+        trace: TraceCollector | None = None,
     ) -> None:
         self.workers = workers
         self.control = control
@@ -62,6 +64,7 @@ class Supervisor:
         self.heartbeats = heartbeats
         self.timeout = timeout
         self.death_grace = death_grace
+        self.trace = trace
         self.errors: list[str] = []
         self.stats: dict[str, StreamStats] = {}
         self._done: set[int] = set()
@@ -145,6 +148,17 @@ class Supervisor:
                 agg.bytes += nbytes
                 for packet, size in by_packet.items():
                     agg.by_packet[packet] = agg.by_packet.get(packet, 0) + size
+            elif kind == "trace":
+                # worker-side event buffer: replay into the caller's
+                # collector so process traces merge like threaded ones
+                _, _wid, spans, samples, blocked = msg
+                if self.trace is not None:
+                    for span in spans:
+                        self.trace.record_span(span)
+                    for sample in samples:
+                        self.trace.record_queue(sample)
+                    for blk in blocked:
+                        self.trace.record_blocked(blk)
             elif kind == "done":
                 _, wid, _failed = msg
                 self._done.add(wid)

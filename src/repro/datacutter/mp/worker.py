@@ -1,12 +1,18 @@
 """Worker-process entry point: one process per filter copy.
 
-Runs the same unit-of-work protocol as the threaded engine's
-``ThreadedPipeline._run_copy`` — ``init``, then either ``generate`` (source
-copies split packets round-robin) or a ``get``/``process`` loop until
-end-of-stream, then ``finalize`` — and reports to the supervisor over the
-control queue:
+Runs the unit-of-work protocol shared with the threaded engine
+(:func:`~repro.datacutter.runtime.run_filter_copy` — ``init``, then either
+``generate`` (source copies split packets round-robin) or a
+``get``/``process`` loop until end-of-stream, then ``finalize``) and
+reports to the supervisor over the control queue:
 
 * ``("error", label, traceback_text)`` when a filter callback raises;
+* ``("trace", worker_id, spans, queue_samples, blocked)`` with the
+  worker-side event buffer when tracing is enabled — spans and queue
+  gauges are recorded into a process-local
+  :class:`~repro.datacutter.obs.trace.Trace` (attached to this worker's
+  private post-fork copies of its edges) and shipped wholesale on exit,
+  so process-engine traces are as complete as threaded ones;
 * ``("stats", worker_id, stream, buffers, bytes, by_packet)`` with the
   producer-side accounting of its output edge;
 * ``("done", worker_id, failed)`` as the final message before exiting.
@@ -24,8 +30,9 @@ import time
 import traceback
 from typing import Any
 
-from ..buffers import Buffer
-from ..filters import Filter, FilterContext, FilterSpec, SourceFilter
+from ..filters import Filter, FilterContext, FilterSpec
+from ..obs.trace import Trace
+from ..runtime import run_filter_copy
 from .channels import ProcessEdge
 
 
@@ -37,11 +44,20 @@ def worker_main(
     out_edge: ProcessEdge,
     control: Any,
     heartbeats: Any,
+    trace_enabled: bool = False,
 ) -> None:
     label = f"{spec.name}#{copy_index}"
 
     def beat() -> None:
         heartbeats[worker_id] = time.monotonic()
+
+    trace = Trace() if trace_enabled else None
+    if trace is not None:
+        # these edge objects are this process's private post-fork copies:
+        # attaching the local buffer cannot race with other workers
+        if in_edge is not None:
+            in_edge.trace = trace
+        out_edge.trace = trace
 
     ctx = FilterContext(
         name=spec.name,
@@ -54,25 +70,16 @@ def worker_main(
     failed = False
     beat()
     try:
-        filt.init(ctx)
-        if in_edge is None:
-            if not isinstance(filt, SourceFilter):
-                raise TypeError(f"first filter '{spec.name}' must be a SourceFilter")
-            for packet, payload in enumerate(filt.generate(ctx)):
-                beat()
-                if packet % spec.width == copy_index:
-                    if isinstance(payload, Buffer):
-                        out_edge.put(payload)
-                    else:
-                        ctx.write(payload, packet)
-        else:
-            while True:
-                buf = in_edge.get(copy_index)
-                beat()
-                if buf is None:
-                    break
-                filt.process(buf, ctx)
-        filt.finalize(ctx)
+        run_filter_copy(
+            filt,
+            ctx,
+            spec,
+            copy_index,
+            in_edge,
+            out_edge,
+            trace=trace,
+            heartbeat=beat,
+        )
     except BaseException:  # noqa: BLE001 - reported to the supervisor
         failed = True
         try:
@@ -85,6 +92,16 @@ def worker_main(
         except Exception:  # pragma: no cover - queue torn down under us
             pass
         try:
+            if trace is not None:
+                control.put(
+                    (
+                        "trace",
+                        worker_id,
+                        trace.spans,
+                        trace.queue_samples,
+                        trace.blocked,
+                    )
+                )
             control.put(
                 (
                     "stats",

@@ -1,0 +1,52 @@
+"""Pipeline observability: engine-native tracing, queue gauges, exporters.
+
+Both execution engines (threaded and process) feed a
+:class:`TraceCollector` directly — per-filter-copy spans with packet ids,
+queue-depth and blocked-on-put/get gauges, per-copy utilization — so
+process-engine traces are as complete as threaded ones.  See
+:mod:`repro.datacutter.obs.trace` for the data model and
+:mod:`repro.datacutter.obs.export` for the JSON lines and Chrome
+``trace_event`` exporters.
+"""
+
+from .trace import (
+    BLOCKED_MIN_SECONDS,
+    OVERHEAD_PACKET,
+    PHASES,
+    BlockedSpan,
+    QueueSample,
+    Span,
+    Trace,
+    TraceCollector,
+    Utilization,
+    current_worker_label,
+    record_queue_op,
+)
+from .export import (
+    jsonl_lines,
+    read_jsonl,
+    to_chrome,
+    validate_chrome_trace,
+    write_chrome,
+    write_jsonl,
+)
+
+__all__ = [
+    "BLOCKED_MIN_SECONDS",
+    "OVERHEAD_PACKET",
+    "PHASES",
+    "BlockedSpan",
+    "QueueSample",
+    "Span",
+    "Trace",
+    "TraceCollector",
+    "Utilization",
+    "current_worker_label",
+    "jsonl_lines",
+    "read_jsonl",
+    "record_queue_op",
+    "to_chrome",
+    "validate_chrome_trace",
+    "write_chrome",
+    "write_jsonl",
+]

@@ -1,0 +1,256 @@
+"""Trace exporters: JSON lines and Chrome ``trace_event`` format.
+
+Two on-disk forms of one :class:`~repro.datacutter.obs.trace.Trace`:
+
+* **JSON lines** — one event per line (``{"type": "span" | "queue" |
+  "blocked" | "meta", ...}``), lossless and trivially greppable;
+  :func:`read_jsonl` round-trips it back into a :class:`Trace`.
+* **Chrome trace_event** — the ``{"traceEvents": [...]}`` JSON consumed by
+  ``chrome://tracing`` and Perfetto (https://ui.perfetto.dev): complete
+  (``"X"``) events per span on one named track per filter copy, counter
+  (``"C"``) events for queue depth, and ``"X"`` events in the ``blocked``
+  category for put/get stalls.  :func:`validate_chrome_trace` checks a
+  document against the subset of the spec we emit (the conformance tests
+  and the ``python -m repro trace`` CLI both run it).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterator
+
+from .trace import BlockedSpan, QueueSample, Span, Trace
+
+#: single-process view: every filter copy is a named thread track
+CHROME_PID = 1
+
+#: metadata record names we emit (trace_event spec, "Metadata Events")
+_CHROME_META_NAMES = {"process_name", "thread_name", "thread_sort_index"}
+
+#: event phases we emit; validation rejects anything else
+_CHROME_PHASES = {"X", "C", "M"}
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace_event
+# ---------------------------------------------------------------------------
+
+
+def to_chrome(trace: Trace) -> dict[str, Any]:
+    """Render a trace as a Chrome ``trace_event`` JSON object."""
+    t_zero = trace.t_origin()
+
+    def us(t: float) -> float:
+        return round((t - t_zero) * 1e6, 3)
+
+    events: list[dict[str, Any]] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": CHROME_PID,
+            "tid": 0,
+            "args": {"name": f"repro pipeline ({trace.engine or 'unknown'} engine)"},
+        }
+    ]
+    tids: dict[str, int] = {}
+
+    def tid_for(who: str) -> int:
+        if who not in tids:
+            tids[who] = len(tids) + 1
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": CHROME_PID,
+                    "tid": tids[who],
+                    "args": {"name": who},
+                }
+            )
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_sort_index",
+                    "pid": CHROME_PID,
+                    "tid": tids[who],
+                    "args": {"sort_index": tids[who]},
+                }
+            )
+        return tids[who]
+
+    for who in trace.copies():  # pipeline order before ad-hoc labels
+        tid_for(who)
+    for s in trace.spans:
+        name = (
+            s.phase
+            if s.packet is None or s.packet < 0
+            else f"{s.phase} p{s.packet}"
+        )
+        events.append(
+            {
+                "ph": "X",
+                "cat": "filter",
+                "name": name,
+                "pid": CHROME_PID,
+                "tid": tid_for(s.who),
+                "ts": us(s.t0),
+                "dur": max(round(s.duration * 1e6, 3), 0.0),
+                "args": {
+                    "filter": s.filter,
+                    "copy": s.copy,
+                    "phase": s.phase,
+                    "packet": s.packet,
+                },
+            }
+        )
+    for b in trace.blocked:
+        events.append(
+            {
+                "ph": "X",
+                "cat": "blocked",
+                "name": f"blocked {b.side} {b.stream}",
+                "pid": CHROME_PID,
+                "tid": tid_for(b.who),
+                "ts": us(b.t0),
+                "dur": max(round(b.duration * 1e6, 3), 0.0),
+                "args": {"stream": b.stream, "side": b.side},
+            }
+        )
+    for q in trace.queue_samples:
+        events.append(
+            {
+                "ph": "C",
+                "name": f"depth {q.stream}",
+                "pid": CHROME_PID,
+                "tid": 0,
+                "ts": us(q.ts),
+                "args": {"depth": q.depth},
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": dict(trace.meta),
+    }
+
+
+def validate_chrome_trace(doc: Any) -> list[str]:
+    """Check a document against the ``trace_event`` subset we emit.
+
+    Returns a list of problems (empty = valid).  Intentionally strict:
+    the point is to guarantee the file opens in ``chrome://tracing`` and
+    Perfetto, not to accept every legal trace."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is missing or not a list"]
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in _CHROME_PHASES:
+            problems.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if not isinstance(ev.get("name"), str):
+            problems.append(f"{where}: missing string name")
+        if not isinstance(ev.get("pid"), int):
+            problems.append(f"{where}: missing integer pid")
+        if ph in ("X", "C"):
+            ts = ev.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                problems.append(f"{where}: ts must be a non-negative number")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: dur must be a non-negative number")
+            if not isinstance(ev.get("tid"), int):
+                problems.append(f"{where}: missing integer tid")
+        if ph == "C":
+            args = ev.get("args")
+            if not isinstance(args, dict) or not all(
+                isinstance(v, (int, float)) for v in args.values()
+            ):
+                problems.append(f"{where}: counter args must be numbers")
+        if ph == "M" and ev.get("name") not in _CHROME_META_NAMES:
+            problems.append(f"{where}: unknown metadata record {ev.get('name')!r}")
+    return problems
+
+
+def write_chrome(trace: Trace, path: str) -> None:
+    doc = to_chrome(trace)
+    with open(path, "w") as fh:
+        json.dump(doc, fh)
+
+
+# ---------------------------------------------------------------------------
+# JSON lines
+# ---------------------------------------------------------------------------
+
+
+def jsonl_lines(trace: Trace) -> Iterator[str]:
+    yield json.dumps({"type": "meta", **trace.meta})
+    for s in trace.spans:
+        yield json.dumps(
+            {
+                "type": "span",
+                "filter": s.filter,
+                "copy": s.copy,
+                "phase": s.phase,
+                "packet": s.packet,
+                "t0": s.t0,
+                "t1": s.t1,
+            }
+        )
+    for q in trace.queue_samples:
+        yield json.dumps(
+            {
+                "type": "queue",
+                "stream": q.stream,
+                "ts": q.ts,
+                "depth": q.depth,
+                "side": q.side,
+            }
+        )
+    for b in trace.blocked:
+        yield json.dumps(
+            {
+                "type": "blocked",
+                "stream": b.stream,
+                "side": b.side,
+                "who": b.who,
+                "t0": b.t0,
+                "t1": b.t1,
+            }
+        )
+
+
+def write_jsonl(trace: Trace, path: str) -> None:
+    with open(path, "w") as fh:
+        for line in jsonl_lines(trace):
+            fh.write(line + "\n")
+
+
+def read_jsonl(path: str) -> Trace:
+    """Round-trip loader for :func:`write_jsonl` output."""
+    trace = Trace()
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            kind = rec.pop("type", None)
+            if kind == "meta":
+                trace.note(**rec)
+            elif kind == "span":
+                trace.record_span(Span(**rec))
+            elif kind == "queue":
+                trace.record_queue(QueueSample(**rec))
+            elif kind == "blocked":
+                trace.record_blocked(BlockedSpan(**rec))
+            else:
+                raise ValueError(f"{path}:{lineno}: unknown record type {kind!r}")
+    return trace

@@ -15,12 +15,14 @@ from the last filter's output stream.
 from __future__ import annotations
 
 import threading
+import time
 import traceback
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
 from .buffers import Buffer
 from .filters import Filter, FilterContext, FilterSpec, SourceFilter
+from .obs.trace import Span, TraceCollector
 from .streams import CollectorStream, LogicalStream, RoundRobin
 
 
@@ -56,15 +58,25 @@ class ThreadedPipeline:
         specs: Sequence[FilterSpec],
         queue_capacity: int = 32,
         join_timeout: float = 60.0,
+        trace: TraceCollector | None = None,
     ) -> None:
         if not specs:
             raise ValueError("pipeline needs at least one filter")
+        if queue_capacity < 1:
+            raise ValueError(
+                f"queue_capacity must be >= 1, got {queue_capacity} "
+                "(capacity 0 would silently disable backpressure)"
+            )
         self.specs = list(specs)
         self.queue_capacity = queue_capacity
         self.join_timeout = join_timeout
+        self.trace = trace
 
     def run(self) -> RunResult:
         specs = self.specs
+        trace = self.trace
+        if trace is not None:
+            trace.note(engine=self.engine_name)
         streams: list[LogicalStream] = []
         for k in range(len(specs) - 1):
             streams.append(
@@ -74,10 +86,13 @@ class ThreadedPipeline:
                     n_consumers=specs[k + 1].width,
                     capacity=self.queue_capacity,
                     policy=specs[k].out_policy or RoundRobin(),
+                    trace=trace,
                 )
             )
         collector = CollectorStream(
-            name=f"{specs[-1].name}->out", n_producers=specs[-1].width
+            name=f"{specs[-1].name}->out",
+            n_producers=specs[-1].width,
+            trace=trace,
         )
         out_streams: list[LogicalStream] = streams + [collector]
         errors: list[str] = []
@@ -89,7 +104,7 @@ class ThreadedPipeline:
             for copy_index in range(spec.width):
                 thread = threading.Thread(
                     target=self._run_copy,
-                    args=(spec, copy_index, in_stream, out_stream, errors),
+                    args=(spec, copy_index, in_stream, out_stream, errors, trace),
                     name=f"{spec.name}#{copy_index}",
                     daemon=True,
                 )
@@ -136,6 +151,7 @@ class ThreadedPipeline:
         in_stream: LogicalStream | None,
         out_stream: LogicalStream,
         errors: list[str],
+        trace: TraceCollector | None = None,
     ) -> None:
         ctx = FilterContext(
             name=spec.name,
@@ -146,31 +162,102 @@ class ThreadedPipeline:
         )
         filt: Filter = spec.make()
         try:
-            filt.init(ctx)
-            if in_stream is None:
-                if not isinstance(filt, SourceFilter):
-                    raise TypeError(
-                        f"first filter '{spec.name}' must be a SourceFilter"
-                    )
-                for packet, payload in enumerate(filt.generate(ctx)):
-                    if packet % spec.width == copy_index:
-                        if isinstance(payload, Buffer):
-                            out_stream.put(payload)
-                        else:
-                            ctx.write(payload, packet)
-            else:
-                while True:
-                    buf = in_stream.get(copy_index)
-                    if buf is None:
-                        break
-                    filt.process(buf, ctx)
-            filt.finalize(ctx)
+            run_filter_copy(
+                filt, ctx, spec, copy_index, in_stream, out_stream, trace
+            )
         except Exception:  # noqa: BLE001 - reported to the caller
             errors.append(
                 f"filter {spec.name}#{copy_index} failed:\n{traceback.format_exc()}"
             )
         finally:
             out_stream.close_producer()
+
+
+def run_filter_copy(
+    filt: Filter,
+    ctx: FilterContext,
+    spec: FilterSpec,
+    copy_index: int,
+    in_stream: Any,
+    out_stream: Any,
+    trace: TraceCollector | None = None,
+    heartbeat: Any = None,
+) -> None:
+    """The unit-of-work protocol of one filter copy, shared by both engines.
+
+    ``init``, then either ``generate`` (source copies split packets
+    round-robin) or a ``get``/``process`` loop until end-of-stream, then
+    ``finalize``.  ``in_stream``/``out_stream`` are duck-typed
+    (:class:`~repro.datacutter.streams.LogicalStream` on the threaded
+    engine, :class:`~repro.datacutter.mp.channels.ProcessEdge` on the
+    process engine).  With a ``trace`` collector, every callback becomes
+    a :class:`~repro.datacutter.obs.trace.Span` carrying the packet id —
+    the engine-native measurement the experiment harness consumes.
+    ``heartbeat`` (process engine) is stamped once per packet so the
+    supervisor's timeout diagnostics can name a stalled filter.
+    """
+    t0 = time.perf_counter()
+    filt.init(ctx)
+    if trace is not None:
+        trace.record_span(
+            Span(spec.name, copy_index, "init", None, t0, time.perf_counter())
+        )
+    if in_stream is None:
+        if not isinstance(filt, SourceFilter):
+            raise TypeError(f"first filter '{spec.name}' must be a SourceFilter")
+        gen = filt.generate(ctx)
+        packet = 0
+        while True:
+            if heartbeat is not None:
+                heartbeat()
+            t0 = time.perf_counter()
+            try:
+                payload = next(gen)
+            except StopIteration:
+                break
+            if trace is not None:
+                trace.record_span(
+                    Span(
+                        spec.name,
+                        copy_index,
+                        "generate",
+                        packet,
+                        t0,
+                        time.perf_counter(),
+                    )
+                )
+            if packet % spec.width == copy_index:
+                if isinstance(payload, Buffer):
+                    out_stream.put(payload)
+                else:
+                    ctx.write(payload, packet)
+            packet += 1
+    else:
+        while True:
+            buf = in_stream.get(copy_index)
+            if heartbeat is not None:
+                heartbeat()
+            if buf is None:
+                break
+            t0 = time.perf_counter()
+            filt.process(buf, ctx)
+            if trace is not None:
+                trace.record_span(
+                    Span(
+                        spec.name,
+                        copy_index,
+                        "process",
+                        buf.packet,
+                        t0,
+                        time.perf_counter(),
+                    )
+                )
+    t0 = time.perf_counter()
+    filt.finalize(ctx)
+    if trace is not None:
+        trace.record_span(
+            Span(spec.name, copy_index, "finalize", None, t0, time.perf_counter())
+        )
 
 
 # run_pipeline moved to repro.datacutter.engine, where it dispatches over

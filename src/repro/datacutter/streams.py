@@ -17,9 +17,11 @@ from __future__ import annotations
 
 import queue
 import threading
-from typing import Callable, Optional
+import time
+from typing import Optional
 
 from .buffers import Buffer, StreamStats
+from .obs.trace import TraceCollector, record_queue_op
 
 #: sentinel delivered to each consumer copy when the stream drains
 _EOS = object()
@@ -71,6 +73,7 @@ class LogicalStream:
         n_consumers: int = 1,
         capacity: int = 16,
         policy: Optional[DistributionPolicy] = None,
+        trace: Optional[TraceCollector] = None,
     ) -> None:
         if n_producers < 1 or n_consumers < 1:
             raise ValueError("streams need at least one copy on each side")
@@ -78,6 +81,7 @@ class LogicalStream:
         self.n_producers = n_producers
         self.n_consumers = n_consumers
         self.policy = policy or RoundRobin()
+        self.trace = trace
         self._queues: list[queue.Queue] = [
             queue.Queue(maxsize=capacity) for _ in range(n_consumers)
         ]
@@ -92,8 +96,17 @@ class LogicalStream:
         if target == -1:
             for q in self._queues:
                 q.put(buf)
-        else:
+            return
+        trace = self.trace
+        if trace is None:
             self._queues[target].put(buf)
+            return
+        q = self._queues[target]
+        t0 = time.perf_counter()
+        q.put(buf)
+        record_queue_op(
+            trace, self.name, "put", t0, time.perf_counter(), q.qsize()
+        )
 
     def close_producer(self) -> None:
         """Called by each producer copy when it finishes its unit-of-work;
@@ -109,7 +122,16 @@ class LogicalStream:
     # -- consumer side ----------------------------------------------------------
     def get(self, consumer_index: int, timeout: float | None = None) -> Buffer | None:
         """Next buffer for a consumer copy; ``None`` means end-of-stream."""
-        item = self._queues[consumer_index].get(timeout=timeout)
+        trace = self.trace
+        q = self._queues[consumer_index]
+        if trace is None:
+            item = q.get(timeout=timeout)
+        else:
+            t0 = time.perf_counter()
+            item = q.get(timeout=timeout)
+            record_queue_op(
+                trace, self.name, "get", t0, time.perf_counter(), q.qsize()
+            )
         if item is _EOS:
             return None
         return item
@@ -128,9 +150,14 @@ class CollectorStream(LogicalStream):
     """Single-consumer stream whose contents can be fetched after the run —
     the 'final results on the user's desktop' endpoint."""
 
-    def __init__(self, name: str = "collector", n_producers: int = 1) -> None:
+    def __init__(
+        self,
+        name: str = "collector",
+        n_producers: int = 1,
+        trace: Optional[TraceCollector] = None,
+    ) -> None:
         super().__init__(
-            name, n_producers=n_producers, n_consumers=1, capacity=0
+            name, n_producers=n_producers, n_consumers=1, capacity=0, trace=trace
         )
         # unbounded queue so the sink never blocks the pipeline
         self._queues = [queue.Queue()]

@@ -22,6 +22,7 @@ from ..apps import (
     make_vmscope_app,
     make_zbuffer_app,
 )
+from ..datacutter.engine import EngineOptions
 from .harness import VersionTimes, format_results, run_experiment
 
 CONFIGS = ("1-1-1", "2-2-1", "4-4-1")
@@ -177,7 +178,8 @@ def _iso_figure(
     app = make_zbuffer_app() if variant == "zbuffer" else make_active_pixels_app()
     workload = app.make_workload(dataset=dataset, num_packets=num_packets)
     results = run_experiment(
-        app, workload, ["Default", "Decomp-Comp"], engine=engine
+        app, workload, ["Default", "Decomp-Comp"],
+        options=EngineOptions(engine=engine),
     )
     fig = FigureResult(
         figure=figure,
@@ -274,7 +276,8 @@ def _knn_figure(
     app = make_knn_app(k=k)
     workload = app.make_workload(n_points=n_points, num_packets=num_packets)
     results = run_experiment(
-        app, workload, ["Default", "Decomp-Comp", "Decomp-Manual"], engine=engine
+        app, workload, ["Default", "Decomp-Comp", "Decomp-Manual"],
+        options=EngineOptions(engine=engine),
     )
     fig = FigureResult(
         figure=figure,
@@ -343,7 +346,8 @@ def _vmscope_figure(
     app = make_vmscope_app()
     workload = app.make_workload(query=query, num_packets=num_packets)
     results = run_experiment(
-        app, workload, ["Default", "Decomp-Comp", "Decomp-Manual"], engine=engine
+        app, workload, ["Default", "Decomp-Comp", "Decomp-Manual"],
+        options=EngineOptions(engine=engine),
     )
     fig = FigureResult(
         figure=figure,

@@ -11,28 +11,40 @@ measured, communication is simulated*.
    * **Decomp-Manual** — hand-written, vectorized DataCutter filters
      performing the same decomposition (knn, vmscope only, as in §6.4-6.5).
 
-2. Run it once on the threaded runtime with every filter wrapped in a
-   timer: this yields *measured* per-packet compute seconds per stage and
-   *measured* per-packet bytes per link, and verifies the output against
-   the sequential oracle.
+2. Run it once with engine-native tracing enabled
+   (:func:`measure_pipeline`, a thin wrapper over ``run_pipeline`` with an
+   :class:`~repro.datacutter.obs.Trace` in the
+   :class:`~repro.datacutter.engine.EngineOptions`): the engines record
+   per-filter-copy ``init``/``generate``/``process``/``finalize`` spans,
+   yielding *measured* per-packet compute seconds per stage and *measured*
+   per-packet bytes per link, and the output is verified against the
+   sequential oracle.  Tracing is engine-native, so measurement works
+   identically on the threaded and process engines.
 
 3. Feed those measurements into the deterministic grid simulator for each
    pipeline configuration (1-1-1 / 2-2-1 / 4-4-1 with Myrinet-class links)
    to obtain the figure's execution times.
+
+The same traces close the loop on the §4.3 cost models:
+:func:`validate_cost_model` joins measured per-filter span seconds and
+per-link bytes against the ``OpCounter``/``VolumeModel`` predictions for
+the chosen decomposition plan.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 from ..codegen.runtime_support import FINAL_PACKET
 from ..core.compiler import CompileOptions, compile_source, default_plan
 from ..cost.environment import PipelineEnv, cluster_config
-from ..datacutter.engine import run_pipeline
+from ..datacutter.engine import EngineOptions, run_pipeline
 from ..datacutter.filters import Filter, FilterContext, FilterSpec, SourceFilter
+from ..datacutter.obs import Trace
 from ..datacutter.runtime import RunResult
 from ..datacutter.simulation import SimReport, simulate_pipeline
 from ..decompose.plan import DecompositionPlan
@@ -43,7 +55,13 @@ VERSIONS = ("Default", "Decomp-Comp", "Decomp-Manual")
 
 
 # ---------------------------------------------------------------------------
-# Timing wrappers
+# Timing wrappers (legacy)
+#
+# Predate engine-native tracing: wrap every filter in a stopwatch and
+# accumulate per-(filter, packet) seconds by hand.  The harness now gets
+# the same numbers from Trace.seconds_by_packet() without touching the
+# specs; these stay as back-compat aliases for external users of the old
+# measurement API.
 # ---------------------------------------------------------------------------
 
 
@@ -173,9 +191,53 @@ def timed_specs(
 # ---------------------------------------------------------------------------
 
 
+def _resolve_options(
+    options: EngineOptions | None,
+    engine: str | None,
+    stacklevel: int = 4,
+) -> EngineOptions:
+    """Back-compat: accept the old ``engine="..."`` keyword with a
+    DeprecationWarning, preferring ``options=EngineOptions(...)``."""
+    if engine is not None:
+        if options is not None:
+            raise TypeError(
+                "pass either options=EngineOptions(...) or the legacy "
+                "engine= keyword, not both"
+            )
+        warnings.warn(
+            "the engine= keyword is deprecated; pass "
+            "options=EngineOptions(engine=...) instead",
+            DeprecationWarning,
+            stacklevel=stacklevel,
+        )
+        return EngineOptions(engine=engine)
+    return options if options is not None else EngineOptions()
+
+
+def measure_pipeline(
+    specs: Sequence[FilterSpec],
+    options: EngineOptions | None = None,
+) -> tuple[RunResult, Trace]:
+    """Run a pipeline with engine-native tracing; returns (result, trace).
+
+    A thin wrapper over ``run_pipeline(specs,
+    options=EngineOptions(trace=...))``: if ``options`` already carries a
+    trace collector it is used (and must be a :class:`Trace` to be
+    returned), otherwise a fresh :class:`Trace` is injected.  Works
+    identically on both engines — the process engine ships worker-side
+    event buffers back through its supervisor."""
+    opts = options if options is not None else EngineOptions()
+    trace = opts.trace
+    if trace is None:
+        trace = Trace()
+        opts = opts.replace(trace=trace)
+    run = run_pipeline(specs, options=opts)
+    return run, trace
+
+
 @dataclass(slots=True)
 class MeasuredRun:
-    """Stage/link measurements of one threaded execution."""
+    """Stage/link measurements of one traced execution."""
 
     version: str
     correct: bool
@@ -189,6 +251,8 @@ class MeasuredRun:
     #: cost-model prediction of total compute seconds per packet (testbed
     #: speed); used to calibrate the Python-vs-testbed slowdown
     modeled_packet_seconds: float | None = None
+    #: the engine-native trace the measurements were derived from
+    trace: Trace | None = None
 
     def stage_mean(self, j: int) -> float:
         per = self.stage_seconds[j]
@@ -259,13 +323,15 @@ def measure_version(
     check: bool = True,
     objective: str = "total",
     warmup: bool = True,
-    engine: str = "threaded",
+    options: EngineOptions | None = None,
+    engine: str | None = None,
 ) -> MeasuredRun:
     """Run one version once (width 1 everywhere) and measure it.
 
-    ``warmup`` runs the pipeline once untimed first, so first-touch costs
+    ``warmup`` runs the pipeline once untraced first, so first-touch costs
     (codegen import, NumPy buffer warmup) don't masquerade as a bottleneck
     packet."""
+    opts = _resolve_options(options, engine)
     env = env or cluster_config(1)
     specs, _result = _specs_for_version(app, workload, version, env, objective)
     return measure_specs(
@@ -276,7 +342,7 @@ def measure_version(
         version,
         check=check,
         warmup=warmup,
-        engine=engine,
+        options=opts,
     )
 
 
@@ -288,21 +354,19 @@ def measure_specs(
     version: str,
     check: bool = True,
     warmup: bool = True,
-    engine: str = "threaded",
+    options: EngineOptions | None = None,
+    engine: str | None = None,
 ) -> MeasuredRun:
     """Measure an already-built spec list (see :func:`measure_version`)."""
+    opts = _resolve_options(options, engine)
+    if opts.trace is not None and not isinstance(opts.trace, Trace):
+        raise TypeError(
+            "measure_specs aggregates via Trace.seconds_by_packet(); pass "
+            "a repro.datacutter.obs.Trace (or leave options.trace unset)"
+        )
     if warmup:
-        run_pipeline(specs, engine=engine)
-    if engine == "threaded":
-        acc = TimeAccumulator()
-    else:
-        # timed filters run in worker processes: ship samples back over an
-        # inherited mp queue (see TimeAccumulator.absorb)
-        import multiprocessing
-
-        acc = TimeAccumulator(sink=multiprocessing.get_context("fork").Queue())
-    run = run_pipeline(timed_specs(specs, acc), engine=engine)
-    acc.absorb()
+        run_pipeline(specs, options=opts.replace(trace=None))
+    run, trace = measure_pipeline(specs, options=opts)
 
     correct = True
     if check:
@@ -310,12 +374,13 @@ def measure_specs(
         expected = workload.oracle()
         correct = bool(workload.check(finals, expected))
 
-    # aggregate filter times into stage times; init/finalize (negative
-    # packet keys) amortize evenly so they don't fake a bottleneck packet
+    # aggregate filter times into stage times; init/finalize (the trace's
+    # overhead bucket, a negative packet key) amortizes evenly so it
+    # doesn't fake a bottleneck packet
     n = max(workload.num_packets, 1)
     stage_seconds: list[dict[int, float]] = [dict() for _ in range(env.m)]
     for spec in specs:
-        per = acc.seconds.get(spec.name, {})
+        per = trace.seconds_by_packet(spec.name)
         bucket = stage_seconds[spec.placement]
         overhead = sum(dt for packet, dt in per.items() if packet < 0)
         for packet, dt in per.items():
@@ -352,6 +417,7 @@ def measure_specs(
         link_bytes=link_bytes,
         run=run,
         modeled_packet_seconds=modeled,
+        trace=trace,
     )
 
 
@@ -428,9 +494,13 @@ def run_experiment(
     versions: Sequence[str],
     configs: dict[str, PipelineEnv] | None = None,
     check: bool = True,
-    engine: str = "threaded",
+    options: EngineOptions | None = None,
+    engine: str | None = None,
 ) -> dict[str, VersionTimes]:
     """Measure each version once, simulate each configuration."""
+    # each measured run gets its own Trace (one shared collector would mix
+    # versions in seconds_by_packet); per-run traces land on MeasuredRun
+    opts = _resolve_options(options, engine).replace(trace=None)
     if configs is None:
         configs = {
             "1-1-1": cluster_config(1),
@@ -444,7 +514,7 @@ def run_experiment(
     calib_version = "Decomp-Comp" if "Decomp-Comp" in versions else versions[0]
     calib_env = next(iter(configs.values()))
     calib = measure_version(
-        app, workload, calib_version, env=calib_env, check=False, engine=engine
+        app, workload, calib_version, env=calib_env, check=False, options=opts
     )
     net_scale = calibrate_net_scale(calib)
     # Decomposition is environment-dependent (§4.1): compile per
@@ -459,7 +529,7 @@ def run_experiment(
             key = (version, plan_key)
             if key not in cache:
                 cache[key] = measure_specs(
-                    specs, result, workload, env, version, check=check, engine=engine
+                    specs, result, workload, env, version, check=check, options=opts
                 )
             measured = cache[key]
             vt.times[config_name] = simulate_measured(
@@ -473,6 +543,165 @@ def run_experiment(
                 ]
         out[version] = vt
     return out
+
+
+# ---------------------------------------------------------------------------
+# Cost-model validation (§4.3): measured spans vs OpCounter/VolumeModel
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class CostModelRow:
+    """One measured-vs-predicted observable of a decomposition plan."""
+
+    kind: str  #: ``"compute"`` (a generated filter) or ``"link"``
+    name: str  #: generated filter name, or ``"L<k>"``
+    unit: int  #: 1-based computing unit (compute) or link index (link)
+    detail: str  #: atom composition ("f1+f2") or crossing boundary
+    predicted: float  #: s/packet at testbed speed, or bytes/packet
+    measured: float  #: s/packet in this run, or bytes/packet
+
+    @property
+    def ratio(self) -> float:
+        """measured / predicted (compute rows: the CPython-vs-testbed
+        slowdown; link rows: ~1.0 when the VolumeModel is exact)."""
+        if self.predicted <= 0:
+            return float("inf") if self.measured > 0 else 1.0
+        return self.measured / self.predicted
+
+
+@dataclass(slots=True)
+class CostModelReport:
+    """The §4.3 cost models joined against one traced run."""
+
+    app: str
+    version: str
+    plan: str
+    engine: str
+    rows: list[CostModelRow]
+
+    def compute_rows(self) -> list[CostModelRow]:
+        return [r for r in self.rows if r.kind == "compute"]
+
+    def link_rows(self) -> list[CostModelRow]:
+        return [r for r in self.rows if r.kind == "link"]
+
+    def mean_ratio(self, kind: str) -> float:
+        rows = [r for r in self.rows if r.kind == kind and r.predicted > 0]
+        if not rows:
+            return float("nan")
+        return sum(r.ratio for r in rows) / len(rows)
+
+    def table(self) -> str:
+        """Markdown measured-vs-predicted table."""
+        lines = [
+            "| kind | name | unit | composition | predicted | measured | ratio |",
+            "|------|------|-----:|-------------|----------:|---------:|------:|",
+        ]
+        for r in self.rows:
+            if r.kind == "compute":
+                pred = f"{r.predicted:.3e} s/pkt"
+                meas = f"{r.measured:.3e} s/pkt"
+            else:
+                pred = f"{r.predicted:,.0f} B/pkt"
+                meas = f"{r.measured:,.0f} B/pkt"
+            lines.append(
+                f"| {r.kind} | `{r.name}` | {r.unit} | {r.detail} "
+                f"| {pred} | {meas} | {r.ratio:.2f} |"
+            )
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        return (
+            f"cost model vs {self.engine} run of {self.app}/{self.version} "
+            f"(plan {self.plan}): compute slowdown x{self.mean_ratio('compute'):.1f} "
+            f"(CPython vs modeled testbed ops), link bytes ratio "
+            f"x{self.mean_ratio('link'):.2f}"
+        )
+
+
+def validate_cost_model(result, measured: MeasuredRun) -> CostModelReport:
+    """Join measured per-filter spans and per-link bytes against the §4.3
+    cost-model predictions for ``result``'s decomposition plan.
+
+    Compute rows predict seconds/packet at testbed speed (OpCounter
+    weighted ops over unit power), so their ratio is the CPython-vs-testbed
+    slowdown — expect a large, roughly uniform factor.  Link rows predict
+    bytes/packet from the VolumeModel, so their ratio should be ~1.
+    """
+    if measured.trace is None:
+        raise ValueError(
+            "MeasuredRun has no trace; measure with measure_specs/"
+            "measure_version (engine-native tracing) first"
+        )
+    env = result.options.env
+    plan = result.plan
+    n = max(measured.num_packets, 1)
+    rows: list[CostModelRow] = []
+    for gf in result.pipeline.filters:
+        atoms = plan.filters_on_unit(gf.unit)
+        predicted = sum(result.tasks[i - 1] for i in atoms) / env.units[
+            gf.unit - 1
+        ].power
+        per = measured.trace.seconds_by_packet(gf.name)
+        samples = [v for packet, v in per.items() if packet >= 0]
+        measured_s = sum(samples) / max(len(samples), 1)
+        rows.append(
+            CostModelRow(
+                kind="compute",
+                name=gf.name,
+                unit=gf.unit,
+                detail="+".join(f"f{i}" for i in atoms) or "(forward)",
+                predicted=predicted,
+                measured=measured_s,
+            )
+        )
+    for j in range(env.m - 1):
+        boundary = plan.last_filter_before_link(j + 1)
+        predicted_bytes = float(result.volumes[boundary])
+        per = measured.link_bytes[j]
+        measured_bytes = sum(v for packet, v in per.items() if packet >= 0) / n
+        rows.append(
+            CostModelRow(
+                kind="link",
+                name=f"L{j + 1}",
+                unit=j + 1,
+                detail=f"after f{boundary}" if boundary else "raw input",
+                predicted=predicted_bytes,
+                measured=measured_bytes,
+            )
+        )
+    return CostModelReport(
+        app="?",  # the program AST is anonymous; cost_model_report fills it
+        version=measured.version,
+        plan=str(plan),
+        engine=measured.trace.engine or "?",
+        rows=rows,
+    )
+
+
+def cost_model_report(
+    app: AppBundle,
+    workload: Workload,
+    version: str = "Decomp-Comp",
+    env: PipelineEnv | None = None,
+    options: EngineOptions | None = None,
+    objective: str = "total",
+) -> CostModelReport:
+    """Compile, measure (traced), and validate in one call."""
+    env = env or cluster_config(1)
+    specs, result = _specs_for_version(app, workload, version, env, objective)
+    if result is None:
+        raise ValueError(
+            f"{version} is hand-written; only compiled versions carry a "
+            "cost model to validate"
+        )
+    measured = measure_specs(
+        specs, result, workload, env, version, options=options
+    )
+    report = validate_cost_model(result, measured)
+    report.app = app.name
+    return report
 
 
 def format_results(

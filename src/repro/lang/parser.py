@@ -37,7 +37,7 @@ identifier).
 from __future__ import annotations
 
 from . import ast
-from .errors import ParseError, SourceSpan
+from .errors import ParseError
 from .tokens import AUG_ASSIGN_OPS, PRIMITIVE_KINDS, Token, TokKind
 from .lexer import tokenize
 

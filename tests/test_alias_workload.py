@@ -1,6 +1,5 @@
 """Alias-oracle and workload-profile tests."""
 
-import pytest
 
 from repro.analysis import AliasOracle, ConservativeOracle, SymExpr, WorkloadProfile
 from repro.analysis.values import AccessPath, Section

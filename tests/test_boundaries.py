@@ -3,7 +3,6 @@
 import pytest
 
 from repro.analysis import build_filter_chain, fission_foreach, rebuild_foreach_ast
-from repro.analysis.boundaries import AtomicFilter
 from repro.lang import check, parse, unparse_stmt
 from repro.lang.errors import AnalysisError
 

@@ -1,8 +1,11 @@
 """CLI tests for ``python -m repro``."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
+from repro.datacutter.obs import read_jsonl, validate_chrome_trace
 
 SOURCE = """
 native Rectdomain<1, E> read();
@@ -80,3 +83,64 @@ def test_figures_rejects_unknown(capsys):
 def test_requires_subcommand():
     with pytest.raises(SystemExit):
         main([])
+
+
+# ---------------------------------------------------------------------------
+# run
+# ---------------------------------------------------------------------------
+
+
+def test_run_exit_zero_and_accounting(capsys):
+    assert main(["run", "knn", "--packets", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "oracle check: OK" in out
+    assert "stream" in out and "bytes" in out
+
+
+def test_run_rejects_bad_engine():
+    with pytest.raises(SystemExit) as exc_info:
+        main(["run", "knn", "--engine", "distributed"])
+    assert exc_info.value.code == 2
+
+
+def test_run_rejects_bad_packet_count(capsys):
+    assert main(["run", "knn", "--packets", "0"]) == 2
+
+
+# ---------------------------------------------------------------------------
+# trace
+# ---------------------------------------------------------------------------
+
+
+def test_trace_writes_valid_chrome_json(tmp_path, capsys):
+    out_path = tmp_path / "trace.json"
+    code = main(["trace", "knn", "--packets", "4", "-o", str(out_path)])
+    assert code == 0
+    doc = json.loads(out_path.read_text())
+    assert validate_chrome_trace(doc) == []
+    names = {
+        ev["args"]["name"]
+        for ev in doc["traceEvents"]
+        if ev["ph"] == "M" and ev["name"] == "thread_name"
+    }
+    assert any(name.endswith("#0") for name in names)
+    out = capsys.readouterr().out
+    assert "trace written to" in out
+    assert "cost model vs" in out  # compiled version -> measured-vs-predicted
+
+
+def test_trace_jsonl_round_trips(tmp_path, capsys):
+    out_path = tmp_path / "trace.jsonl"
+    code = main(
+        ["trace", "knn", "--packets", "4", "--format", "jsonl", "-o", str(out_path)]
+    )
+    assert code == 0
+    trace = read_jsonl(str(out_path))
+    assert trace.engine == "threaded"
+    assert trace.spans and trace.queue_samples
+
+
+def test_trace_rejects_bad_engine():
+    with pytest.raises(SystemExit) as exc_info:
+        main(["trace", "knn", "--engine", "bogus"])
+    assert exc_info.value.code == 2

@@ -1,7 +1,6 @@
 """Layout-builder tests (§5): trimmed classes, instance/field-wise
 grouping by first consumer, reduction scratch rule."""
 
-import numpy as np
 import pytest
 
 from repro.analysis import analyze_communication, build_filter_chain

@@ -3,7 +3,7 @@
 import pytest
 
 from repro import CompileOptions, WorkloadProfile, compile_source, default_plan
-from repro.core.compiler import analyze_source, compute_problem, decompose, source_only_plan
+from repro.core.compiler import analyze_source, source_only_plan
 from repro.cost import cluster_config
 from repro.lang import Intrinsic, IntrinsicRegistry
 

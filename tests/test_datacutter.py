@@ -1,7 +1,6 @@
 """DataCutter substrate tests (§2.2): buffers, streams, transparent
 copies, the threaded runtime, and placement validation."""
 
-import threading
 
 import numpy as np
 import pytest

@@ -25,6 +25,7 @@ from repro.apps import (
 from repro.cost import cluster_config
 from repro.datacutter import (
     ENGINES,
+    EngineOptions,
     Filter,
     FilterSpec,
     PipelineError,
@@ -43,8 +44,8 @@ ENGINE_NAMES = ("threaded", "process")
 
 
 def _run(specs, engine):
-    opts = {"timeout": PROC_TIMEOUT} if engine == "process" else {}
-    return run_pipeline(specs, engine=engine, **opts)
+    timeout = PROC_TIMEOUT if engine == "process" else None
+    return run_pipeline(specs, EngineOptions(engine=engine, timeout=timeout))
 
 
 def _no_orphans():
@@ -247,7 +248,10 @@ def test_supervisor_timeout_names_stalest_filter():
     ]
     try:
         with pytest.raises(PipelineError, match="timed out") as exc_info:
-            run_pipeline(specs, engine="process", timeout=1.5, death_grace=0.5)
+            run_pipeline(
+                specs,
+                EngineOptions(engine="process", timeout=1.5, death_grace=0.5),
+            )
         assert "tarpit#0" in str(exc_info.value)
     finally:
         _unstick.set()
@@ -277,24 +281,26 @@ def test_threaded_stuck_filter_detected():
 
 def test_engine_registry():
     assert set(ENGINES) == {"threaded", "process"}
-    eng = make_engine([FilterSpec("src", _Range)], engine="threaded")
+    eng = make_engine([FilterSpec("src", _Range)], EngineOptions(engine="threaded"))
     assert eng.engine_name == "threaded"
-    eng = make_engine([FilterSpec("src", _Range)], engine="process")
+    eng = make_engine([FilterSpec("src", _Range)], EngineOptions(engine="process"))
     assert eng.engine_name == "process"
 
 
 def test_unknown_engine_rejected():
     with pytest.raises(ValueError, match="threaded"):
-        make_engine([FilterSpec("src", _Range)], engine="distributed")
+        make_engine([FilterSpec("src", _Range)], EngineOptions(engine="distributed"))
 
 
 def test_compile_result_execute_engine_switch():
-    """CompilationResult.execute(engine=...) reaches the same dispatcher."""
+    """CompilationResult.execute(options=...) reaches the same dispatcher."""
     app, workload = APPS["knn"]()
     env = cluster_config(1)
     _specs, result = _specs_for_version(app, workload, "Decomp-Comp", env)
     run = result.execute(
-        workload.packets, workload.params, engine="process", timeout=PROC_TIMEOUT
+        workload.packets,
+        workload.params,
+        options=EngineOptions(engine="process", timeout=PROC_TIMEOUT),
     )
     assert workload.check(run.payloads[-1], workload.oracle())
     _no_orphans()

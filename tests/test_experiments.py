@@ -15,7 +15,7 @@ from repro.experiments import (
     simulate_measured,
     timed_specs,
 )
-from repro.experiments.harness import MeasuredRun, VersionTimes
+from repro.experiments.harness import VersionTimes
 
 
 class _Src(SourceFilter):

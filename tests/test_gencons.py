@@ -1,6 +1,5 @@
 """Gen/Cons analysis tests, following Figure 2 statement by statement."""
 
-import pytest
 
 from repro.analysis import GenConsAnalyzer
 from repro.lang import check, parse

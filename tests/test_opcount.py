@@ -4,7 +4,6 @@ import pytest
 
 from repro.analysis import OpCounter, WorkloadProfile, build_filter_chain
 from repro.lang import Intrinsic, IntrinsicRegistry, OpCount, check, parse
-from repro.lang.types import DOUBLE
 
 
 def counter_for(source: str, registry=None, method="f", method_costs=None):

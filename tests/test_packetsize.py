@@ -3,7 +3,7 @@ heterogeneous-environment decomposition behaviour."""
 
 import pytest
 
-from repro import CompileOptions, WorkloadProfile
+from repro import CompileOptions
 from repro.apps import make_knn_app, make_zbuffer_app
 from repro.core.compiler import analyze_source, compute_problem, decompose
 from repro.core.packetsize import choose_packet_count

@@ -2,7 +2,6 @@
 relies on, analysis-precision ablations, and pipeline invariances."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.analysis import (

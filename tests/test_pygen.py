@@ -4,9 +4,8 @@ generated runtime classes."""
 import numpy as np
 import pytest
 
-from repro.codegen.pygen import CodegenError, NameEnv, PyGen, generate_runtime_class
+from repro.codegen.pygen import NameEnv, PyGen, generate_runtime_class
 from repro.lang import check, parse
-from repro.lang.types import VarSymbol
 
 
 def translate_method(source: str, method: str = "f"):

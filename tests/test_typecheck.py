@@ -4,7 +4,7 @@ import pytest
 
 from repro.lang import check, parse
 from repro.lang.errors import SemanticError
-from repro.lang.types import BOOLEAN, DOUBLE, INT, ArrayType, RectdomainType
+from repro.lang.types import BOOLEAN, DOUBLE, RectdomainType
 
 PRELUDE = """
 native Rectdomain<1, E> read();
