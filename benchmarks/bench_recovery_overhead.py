@@ -1,0 +1,128 @@
+"""Recovery overhead: fault-free vs injected-crash wall clock.
+
+Measures what one crashed-and-restarted filter copy costs end to end on
+each engine: the z-buffer Decomp-Comp pipeline runs once fault-free and
+once with a crash injected into the middle compute stage on packet 0,
+under a retry budget that heals it.  Outputs must be identical in both
+runs — a benchmark that silently dropped or double-counted packets would
+be measuring a bug, not overhead.
+
+The threaded engine restarts a copy in-process (backoff + replay is the
+whole cost).  The process engine also pays the supervisor's death grace
+(sentinel-watch polling interval before the dead worker is noticed) and
+a full ``fork`` respawn, so its overhead is dominated by ``death_grace``
+— which is why the bench pins it low, and why the table in
+EXPERIMENTS.md reports it alongside the backoff.
+
+Run standalone with
+``PYTHONPATH=src python benchmarks/bench_recovery_overhead.py``
+or via pytest.  Results are recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.__main__ import _canonical_outputs
+from repro.apps import make_zbuffer_app
+from repro.cost import cluster_config
+from repro.datacutter import (
+    EngineOptions,
+    FaultSpec,
+    RetryPolicy,
+    Trace,
+    run_pipeline,
+)
+from repro.experiments.harness import _specs_for_version
+
+PROC_TIMEOUT = 300.0
+DEATH_GRACE = 0.3
+RETRY = RetryPolicy(max_attempts=3, backoff_base=0.01, jitter=0.0)
+
+
+def _specs():
+    app = make_zbuffer_app()
+    workload = app.make_workload(num_packets=8)
+    env = cluster_config(1)
+    specs, _ = _specs_for_version(app, workload, "Decomp-Comp", env)
+    return specs
+
+
+def _options(engine: str, **extra) -> EngineOptions:
+    if engine == "process":
+        extra.setdefault("timeout", PROC_TIMEOUT)
+        extra.setdefault("death_grace", DEATH_GRACE)
+    return EngineOptions(engine=engine, **extra)
+
+
+def measure_engine(engine: str) -> dict:
+    # compile once and reuse the specs for both runs: generated reduction
+    # classes get a fresh registry-anchored name per compilation, so
+    # outputs from two separate compiles never pickle identically
+    specs = _specs()
+    target = specs[len(specs) // 2].name
+
+    t0 = time.perf_counter()
+    baseline = run_pipeline(specs, _options(engine))
+    base_wall = time.perf_counter() - t0
+
+    trace = Trace()
+    t0 = time.perf_counter()
+    recovered = run_pipeline(
+        specs,
+        _options(
+            engine,
+            trace=trace,
+            retry=RETRY,
+            faults=[FaultSpec(filter=target, kind="crash", copy=0, packet=0)],
+        ),
+    )
+    rec_wall = time.perf_counter() - t0
+
+    identical = _canonical_outputs(recovered.outputs) == _canonical_outputs(
+        baseline.outputs
+    )
+    return {
+        "engine": engine,
+        "target": target,
+        "base_wall": base_wall,
+        "rec_wall": rec_wall,
+        "overhead": rec_wall - base_wall,
+        "restarts": len(trace.restarts()),
+        "identical": identical,
+    }
+
+
+@pytest.mark.parametrize("engine", ["threaded", "process"])
+def test_injected_crash_overhead(engine):
+    row = measure_engine(engine)
+    assert row["identical"], "recovered outputs diverged from fault-free run"
+    assert row["restarts"] == 1
+
+
+def main() -> int:
+    print("recovery overhead: one injected crash in the middle compute stage")
+    print(f"(zbuffer Decomp-Comp, 8 packets; death_grace={DEATH_GRACE}s, "
+          f"backoff_base={RETRY.backoff_base}s)")
+    header = (
+        f"{'engine':<10} {'fault-free':>11} {'recovered':>10} "
+        f"{'overhead':>9} {'restarts':>8}  identical"
+    )
+    print(header)
+    print("-" * len(header))
+    ok = True
+    for engine in ("threaded", "process"):
+        row = measure_engine(engine)
+        ok = ok and row["identical"] and row["restarts"] == 1
+        print(
+            f"{row['engine']:<10} {row['base_wall']:>10.3f}s "
+            f"{row['rec_wall']:>9.3f}s {row['overhead']:>+8.3f}s "
+            f"{row['restarts']:>8}  {'YES' if row['identical'] else 'NO'}"
+        )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

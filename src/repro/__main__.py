@@ -13,6 +13,12 @@ Commands:
   chrome://tracing or https://ui.perfetto.dev) or JSON lines.  Also
   prints the trace summary and, for compiled versions, the §4.3
   measured-vs-predicted cost-model table.
+* ``chaos APP`` — the fault-tolerance proof: run one application twice on
+  the same engine, fault-free and with an injected fault (crash /
+  exception / stall on a chosen filter copy and packet) under a retry
+  policy, then verify the recovered outputs are identical to the
+  fault-free outputs and report restarts and recovery overhead;
+  ``-o`` exports the recovery trace (with its ``restart`` spans).
 * ``figures [NAMES...]`` — reproduce the paper's evaluation figures
   (default: all of fig5..fig12) and print paper-vs-measured reports.
 * ``apps`` — list the bundled evaluation applications.
@@ -152,6 +158,108 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0 if measured.correct else 1
 
 
+def _canonical_outputs(outputs) -> list:
+    """Order- and identity-insensitive form of a run's output buffers,
+    for byte-level comparison of a recovered run against a fault-free
+    one (numpy payloads compare by shape/dtype/bytes)."""
+    import pickle
+
+    try:
+        import numpy as np
+    except ImportError:  # pragma: no cover - numpy is a hard dep elsewhere
+        np = None
+
+    def norm(obj):
+        if np is not None and isinstance(obj, np.ndarray):
+            return ("ndarray", obj.shape, str(obj.dtype), obj.tobytes())
+        if isinstance(obj, dict):
+            return tuple(sorted((k, norm(v)) for k, v in obj.items()))
+        if isinstance(obj, (list, tuple)):
+            return tuple(norm(v) for v in obj)
+        return obj
+
+    return sorted(
+        (buf.packet, pickle.dumps(norm(buf.payload))) for buf in outputs
+    )
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import time
+
+    from . import apps as apps_mod
+    from .cost.environment import cluster_config
+    from .datacutter import (
+        EngineOptions,
+        FaultSpec,
+        RetryPolicy,
+        Trace,
+        run_pipeline,
+    )
+    from .datacutter.obs import write_chrome
+    from .experiments.harness import _specs_for_version
+
+    if args.packets < 1 or args.width < 1:
+        print("chaos: --packets and --width must be >= 1")
+        return 2
+    factory_name, workload_defaults = _APP_FACTORIES[args.app]
+    app = getattr(apps_mod, factory_name)()
+    workload = app.make_workload(num_packets=args.packets, **workload_defaults)
+    env = cluster_config(args.width)
+    specs, _result = _specs_for_version(app, workload, args.version, env)
+
+    names = [s.name for s in specs]
+    target = args.filter or names[len(names) // 2]
+    if target not in names:
+        print(f"chaos: no filter named {target!r}; pipeline has: {', '.join(names)}")
+        return 2
+
+    # process runs get a generous wall-clock cap so a recovery bug fails
+    # loudly instead of hanging the command
+    base_opts = EngineOptions(
+        engine=args.engine,
+        timeout=120.0 if args.engine == "process" else None,
+    )
+    t0 = time.perf_counter()
+    baseline = run_pipeline(specs, options=base_opts)
+    clean_wall = time.perf_counter() - t0
+
+    trace = Trace()
+    fault = FaultSpec(
+        filter=target, kind=args.kind, copy=args.copy, packet=args.packet_index
+    )
+    opts = base_opts.replace(
+        trace=trace,
+        retry=RetryPolicy(max_attempts=args.attempts, backoff_base=0.01, jitter=0.0),
+        faults=[fault],
+    )
+    t0 = time.perf_counter()
+    faulted = run_pipeline(specs, options=opts)
+    faulted_wall = time.perf_counter() - t0
+
+    identical = _canonical_outputs(baseline.outputs) == _canonical_outputs(
+        faulted.outputs
+    )
+    restarts = trace.restarts()
+    overhead = faulted_wall - clean_wall
+    print(f"{app.name} / {args.version} on the {args.engine} engine")
+    print(
+        f"  injected: {fault.kind} in {target}#{fault.copy} "
+        f"on packet {fault.packet}"
+    )
+    print(f"  fault-free wall: {clean_wall:.3f}s  recovered wall: {faulted_wall:.3f}s")
+    print(f"  recovery overhead: {overhead:+.3f}s  restarts: {len(restarts)}")
+    print(f"  outputs identical to fault-free run: {'YES' if identical else 'NO'}")
+    if args.out:
+        write_chrome(trace, args.out)
+        print(f"  recovery trace written to {args.out} (chrome trace_event)")
+    if not restarts:
+        print(
+            "  warning: the fault never fired (no restarts recorded) — "
+            "check --filter/--copy/--packet-index against the routing"
+        )
+    return 0 if identical and restarts else 1
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
     from .experiments.figures import ALL_FIGURES
 
@@ -275,6 +383,63 @@ def build_parser() -> argparse.ArgumentParser:
         "jsonl = one span/sample per line",
     )
     p_trace.set_defaults(fn=_cmd_trace)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="inject a fault into one run and verify recovery heals it",
+    )
+    p_chaos.add_argument("app", choices=sorted(_APP_FACTORIES))
+    p_chaos.add_argument(
+        "--engine",
+        choices=["threaded", "process"],
+        default="threaded",
+        help="execution engine to inject into",
+    )
+    p_chaos.add_argument(
+        "--version",
+        choices=["Default", "Decomp-Comp", "Decomp-Manual"],
+        default="Decomp-Comp",
+        help="pipeline version to run",
+    )
+    p_chaos.add_argument(
+        "--width", type=int, default=1, help="pipeline width (w-w-1 config)"
+    )
+    p_chaos.add_argument(
+        "--packets", type=int, default=8, help="number of input packets"
+    )
+    p_chaos.add_argument(
+        "--filter",
+        default=None,
+        help="logical filter to fault (default: the middle pipeline stage)",
+    )
+    p_chaos.add_argument(
+        "--kind",
+        choices=["crash", "exception", "stall", "drop_heartbeat"],
+        default="crash",
+        help="fault kind (crash = abrupt worker death, no goodbye)",
+    )
+    p_chaos.add_argument(
+        "--copy", type=int, default=0, help="transparent-copy index to fault"
+    )
+    p_chaos.add_argument(
+        "--packet-index",
+        type=int,
+        default=0,
+        help="packet on which the fault fires",
+    )
+    p_chaos.add_argument(
+        "--attempts",
+        type=int,
+        default=3,
+        help="retry budget per filter copy (first run included)",
+    )
+    p_chaos.add_argument(
+        "-o",
+        "--out",
+        default=None,
+        help="also export the recovery trace (chrome trace_event JSON)",
+    )
+    p_chaos.set_defaults(fn=_cmd_chaos)
 
     p_fig = sub.add_parser("figures", help="reproduce evaluation figures")
     p_fig.add_argument("names", nargs="*", help="fig5 .. fig12 (default all)")

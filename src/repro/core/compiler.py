@@ -55,6 +55,11 @@ class CompileOptions:
     #: default execution engine for CompilationResult.execute
     #: ("threaded" | "process"; see repro.datacutter.engine)
     engine: str = "threaded"
+    #: full default run configuration for CompilationResult.execute — an
+    #: EngineOptions carrying retry policy, fault plan, trace sink, etc.
+    #: When set it wins over the bare ``engine`` name above; kept untyped
+    #: to avoid importing the runtime at compile time
+    engine_options: object | None = None
 
 
 @dataclass(slots=True)
@@ -83,10 +88,12 @@ class CompilationResult:
         """Run the compiled pipeline on an execution engine.
 
         ``options`` is an :class:`~repro.datacutter.engine.EngineOptions`;
-        when omitted, the compile-time default engine
-        (``CompileOptions.engine``) is used.  Legacy keyword arguments
-        (``engine=``, ``queue_capacity=``, ``timeout=``, ...) still work
-        but emit a :class:`DeprecationWarning`.  Returns the engine's
+        when omitted, the compile-time default run configuration is used
+        (``CompileOptions.engine_options`` if set, else an EngineOptions
+        built from the bare ``CompileOptions.engine`` name).  Legacy
+        keyword arguments (``engine=``, ``queue_capacity=``,
+        ``timeout=``, ...) still work but emit a
+        :class:`DeprecationWarning`.  Returns the engine's
         :class:`~repro.datacutter.runtime.RunResult`.
         """
         from ..datacutter.engine import (
@@ -96,7 +103,10 @@ class CompilationResult:
         )
 
         if options is None and not legacy:
-            options = EngineOptions(engine=self.options.engine)
+            if self.options.engine_options is not None:
+                options = self.options.engine_options
+            else:
+                options = EngineOptions(engine=self.options.engine)
         elif not isinstance(options, EngineOptions):
             # legacy call: engine="..." / queue_capacity=... kwargs, or the
             # old positional-string engine argument

@@ -19,6 +19,13 @@ from .engine import ENGINES, Engine, EngineOptions, make_engine, run_pipeline
 from .mp import ProcessPipeline
 from .obs import Trace, TraceCollector
 from .placement import PlacedPipeline
+from .recovery import (
+    FaultInjected,
+    FaultPlan,
+    FaultSpec,
+    InjectedCrash,
+    RetryPolicy,
+)
 from .runtime import PipelineError, RunResult, ThreadedPipeline
 from .simulation import (
     SimReport,
@@ -47,14 +54,19 @@ __all__ = [
     "ENGINES",
     "Engine",
     "EngineOptions",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultSpec",
     "Filter",
     "FilterContext",
     "FilterSpec",
     "FunctionFilter",
+    "InjectedCrash",
     "LogicalStream",
     "PipelineError",
     "PlacedPipeline",
     "ProcessPipeline",
+    "RetryPolicy",
     "RoundRobin",
     "RunResult",
     "SimReport",

@@ -39,6 +39,8 @@ from typing import Any, Callable, Protocol, Sequence, runtime_checkable
 from .filters import FilterSpec
 from .mp.transport import DEFAULT_SHM_MIN_BYTES
 from .obs.trace import TraceCollector
+from .recovery.faults import FaultPlan, FaultSpec
+from .recovery.policy import RetryPolicy
 from .runtime import RunResult, ThreadedPipeline
 
 
@@ -68,7 +70,9 @@ class EngineOptions:
     #: per-consumer stream queue bound (the backpressure window)
     queue_capacity: int = 32
     #: threaded engine: seconds to wait for filter threads before
-    #: declaring the pipeline stuck
+    #: declaring the pipeline stuck; process engine: post-end-of-stream
+    #: completion deadline (how long workers may take to hand in 'done'
+    #: after the last output arrived)
     join_timeout: float = 60.0
     #: process engine: optional wall-clock cap enforced by the supervisor
     timeout: float | None = None
@@ -80,6 +84,12 @@ class EngineOptions:
     #: observability sink fed by the engine (see repro.datacutter.obs);
     #: None disables tracing
     trace: TraceCollector | None = None
+    #: packet-granularity fault tolerance (repro.datacutter.recovery);
+    #: None — the default — keeps the legacy no-recovery fast path
+    retry: RetryPolicy | None = None
+    #: deterministic fault injection for chaos testing; a FaultPlan or a
+    #: plain iterable of FaultSpec (normalized here); None disables
+    faults: FaultPlan | Sequence[FaultSpec] | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.engine, str) or not self.engine:
@@ -91,6 +101,11 @@ class EngineOptions:
                 f"queue_capacity must be >= 1, got {self.queue_capacity} "
                 "(capacity 0 would silently disable backpressure)"
             )
+        if self.retry is not None and not isinstance(self.retry, RetryPolicy):
+            raise TypeError(
+                f"retry must be a RetryPolicy or None, got {self.retry!r}"
+            )
+        object.__setattr__(self, "faults", FaultPlan.coerce(self.faults))
 
     def replace(self, **changes: Any) -> "EngineOptions":
         """A copy with the given fields changed."""
@@ -146,6 +161,8 @@ def _make_threaded(specs: Sequence[FilterSpec], opts: EngineOptions) -> Engine:
         queue_capacity=opts.queue_capacity,
         join_timeout=opts.join_timeout,
         trace=opts.trace,
+        retry=opts.retry,
+        faults=opts.faults,
     )
 
 
@@ -159,6 +176,9 @@ def _make_process(specs: Sequence[FilterSpec], opts: EngineOptions) -> Engine:
         timeout=opts.timeout,
         death_grace=opts.death_grace,
         trace=opts.trace,
+        retry=opts.retry,
+        faults=opts.faults,
+        post_eos_timeout=opts.join_timeout,
     )
 
 

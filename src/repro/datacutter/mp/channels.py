@@ -55,20 +55,28 @@ class ProcessEdge:
         name: str,
         n_producers: int = 1,
         n_consumers: int = 1,
-        capacity: int = 32,
+        capacity: int | None = 32,
         policy: DistributionPolicy | None = None,
         shm_min_bytes: int = DEFAULT_SHM_MIN_BYTES,
     ) -> None:
         if n_producers < 1 or n_consumers < 1:
             raise ValueError("streams need at least one copy on each side")
+        if capacity is not None and capacity < 1:
+            raise ValueError(
+                f"stream {name}: capacity must be >= 1 or None for unbounded, "
+                f"got {capacity} (maxsize 0 would silently disable backpressure)"
+            )
         self.name = name
         self.n_producers = n_producers
         self.n_consumers = n_consumers
         self.policy = policy or RoundRobin()
         self.shm_min_bytes = shm_min_bytes
-        # capacity 0 = unbounded (the collector endpoint, which must never
-        # exert backpressure on the last stage)
-        self._queues = [mpctx.Queue(maxsize=capacity) for _ in range(n_consumers)]
+        # capacity None = unbounded (the collector endpoint, which must
+        # never exert backpressure on the last stage)
+        self._queues = [
+            mpctx.Queue(maxsize=0 if capacity is None else capacity)
+            for _ in range(n_consumers)
+        ]
         self._open = mpctx.Value("i", n_producers)
         self.stats = StreamStats()
         #: worker-local trace buffer; ``None`` in the parent.  Each forked
@@ -79,6 +87,11 @@ class ProcessEdge:
         # per-consumer sentinel tally; after fork each consumer process
         # owns its copy and only touches its own index
         self._eos_seen = [0] * n_consumers
+        #: recovery hook: called with the running tally each time this
+        #: consumer swallows a producer sentinel, so the supervisor can
+        #: credit already-consumed sentinels to a restarted copy (the
+        #: sentinels are gone from the queue for good)
+        self.on_eos: Any = None
 
     def _depth(self, q: Any) -> int:
         try:
@@ -90,15 +103,24 @@ class ProcessEdge:
     def put(self, buf: Buffer) -> None:
         self.stats.record(buf)
         target = self.policy.choose(buf, self.n_consumers)
+        trace = self.trace
         if target == -1:
             # broadcast control traffic: one independently pickled copy per
             # consumer (shared memory is single-consumer by design — the
-            # receiver unlinks the segment)
+            # receiver unlinks the segment); each fan-out put is its own
+            # queue op so blocked time on any full copy is accounted
             for q in self._queues:
-                q.put(Buffer(buf.payload, buf.packet, buf.kind, buf.origin))
+                copy = Buffer(buf.payload, buf.packet, buf.kind, buf.origin)
+                if trace is None:
+                    q.put(copy)
+                    continue
+                t0 = time.perf_counter()
+                q.put(copy)
+                record_queue_op(
+                    trace, self.name, "put", t0, time.perf_counter(), self._depth(q)
+                )
             return
         payload, _names = encode_payload(buf.payload, self.shm_min_bytes)
-        trace = self.trace
         q = self._queues[target]
         if trace is None:
             q.put(Buffer(payload, buf.packet, buf.kind, buf.origin))
@@ -141,11 +163,34 @@ class ProcessEdge:
                 )
             if isinstance(item, EndOfStream):
                 self._eos_seen[consumer_index] += 1
+                if self.on_eos is not None:
+                    self.on_eos(self._eos_seen[consumer_index])
                 if self._eos_seen[consumer_index] >= self.n_producers:
                     return None
                 continue
             item.payload = decode_payload(item.payload)
             return item
+
+    def preset_eos(self, consumer_index: int, count: int) -> None:
+        """Credit sentinels a previous (dead) incarnation of this consumer
+        copy already consumed — called by a restarted worker before its
+        first :meth:`get`, so it does not wait for sentinels that will
+        never arrive again."""
+        self._eos_seen[consumer_index] = count
+
+    def flush_producer(self) -> None:
+        """Flush this process's feeder threads so everything already put
+        reaches the pipes, then close the producer ends.  Used by the
+        injected-crash path: the fault model is fail-stop *after* the
+        transport layer has flushed (an OS crash tears the feeder buffer
+        too, but that loss window is out of scope — see
+        :mod:`repro.datacutter.recovery.replay`)."""
+        for q in self._queues:
+            try:
+                q.close()
+                q.join_thread()
+            except Exception:  # pragma: no cover - queue already torn down
+                pass
 
     def poll(self, consumer_index: int = 0) -> Buffer | EndOfStream:
         """Non-blocking variant used by the supervisor's collector drain.

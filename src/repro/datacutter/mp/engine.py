@@ -33,10 +33,13 @@ threaded ones (see :mod:`repro.datacutter.obs`).
 from __future__ import annotations
 
 import multiprocessing
-from typing import Sequence
+from typing import Any, Sequence
 
 from ..filters import FilterSpec
 from ..obs.trace import TraceCollector
+from ..recovery.faults import FaultPlan
+from ..recovery.policy import RetryPolicy
+from ..recovery.replay import CopyProgress
 from ..runtime import PipelineError, RunResult
 from ..streams import RoundRobin
 from .channels import ProcessEdge
@@ -58,6 +61,9 @@ class ProcessPipeline:
         timeout: float | None = None,
         death_grace: float = 2.0,
         trace: TraceCollector | None = None,
+        retry: RetryPolicy | None = None,
+        faults: FaultPlan | None = None,
+        post_eos_timeout: float | None = 60.0,
     ) -> None:
         if not specs:
             raise ValueError("pipeline needs at least one filter")
@@ -72,6 +78,9 @@ class ProcessPipeline:
         self.timeout = timeout
         self.death_grace = death_grace
         self.trace = trace
+        self.retry = retry
+        self.faults = FaultPlan.coerce(faults)
+        self.post_eos_timeout = post_eos_timeout
 
     def run(self) -> RunResult:
         try:
@@ -88,6 +97,10 @@ class ProcessPipeline:
         specs = self.specs
         edges: list[ProcessEdge] = []
         for k in range(len(specs) - 1):
+            policy = specs[k].out_policy or RoundRobin()
+            # spec-attached policies survive across runs; reset any routing
+            # cursor so run N+1 routes identically to run N
+            policy.reset()
             edges.append(
                 ProcessEdge(
                     mpctx,
@@ -95,7 +108,7 @@ class ProcessPipeline:
                     n_producers=specs[k].width,
                     n_consumers=specs[k + 1].width,
                     capacity=self.queue_capacity,
-                    policy=specs[k].out_policy or RoundRobin(),
+                    policy=policy,
                     shm_min_bytes=self.shm_min_bytes,
                 )
             )
@@ -104,7 +117,7 @@ class ProcessPipeline:
             name=f"{specs[-1].name}->out",
             n_producers=specs[-1].width,
             n_consumers=1,
-            capacity=0,  # unbounded: the sink must never block the pipeline
+            capacity=None,  # unbounded: the sink must never block the pipeline
             shm_min_bytes=self.shm_min_bytes,
         )
         all_edges = edges + [collector]
@@ -112,37 +125,49 @@ class ProcessPipeline:
         n_workers = sum(spec.width for spec in specs)
         heartbeats = mpctx.Array("d", n_workers, lock=False)
         control = mpctx.Queue()
+        recovering = self.retry is not None or self.faults is not None
 
+        # per-worker wiring, kept so the supervisor can respawn any copy
+        spawn_args: dict[int, tuple[FilterSpec, int, ProcessEdge | None, ProcessEdge]] = {}
         workers: list[WorkerHandle] = []
         worker_id = 0
         for k, spec in enumerate(specs):
             in_edge = edges[k - 1] if k > 0 else None
             out_edge = all_edges[k]
             for copy_index in range(spec.width):
-                # fork start method: args are inherited, never pickled
-                process = mpctx.Process(
-                    target=worker_main,
-                    args=(
-                        worker_id,
-                        spec,
-                        copy_index,
-                        in_edge,
-                        out_edge,
-                        control,
-                        heartbeats,
-                        self.trace is not None,
-                    ),
-                    name=f"{spec.name}#{copy_index}",
-                    daemon=True,
-                )
+                spawn_args[worker_id] = (spec, copy_index, in_edge, out_edge)
                 workers.append(
                     WorkerHandle(
-                        process=process,
+                        process=None,
                         worker_id=worker_id,
                         label=f"{spec.name}#{copy_index}",
                     )
                 )
                 worker_id += 1
+
+        def spawn(wid: int, progress: CopyProgress | None) -> Any:
+            spec, copy_index, in_edge, out_edge = spawn_args[wid]
+            # fork start method: args (including the unpicklable generated
+            # specs and any replay buffers) are inherited, never pickled
+            process = mpctx.Process(
+                target=worker_main,
+                args=(
+                    wid,
+                    spec,
+                    copy_index,
+                    in_edge,
+                    out_edge,
+                    control,
+                    heartbeats,
+                    self.trace is not None,
+                    self.faults,
+                    progress,
+                ),
+                name=f"{spec.name}#{copy_index}",
+                daemon=True,
+            )
+            process.start()
+            return process
 
         supervisor = Supervisor(
             workers,
@@ -153,9 +178,15 @@ class ProcessPipeline:
             timeout=self.timeout,
             death_grace=self.death_grace,
             trace=self.trace,
+            retry=self.retry,
+            faults=self.faults,
+            respawn=spawn if recovering else None,
+            post_eos_timeout=self.post_eos_timeout,
         )
         for w in workers:
-            w.process.start()
+            w.process = spawn(
+                w.worker_id, CopyProgress() if recovering else None
+            )
         try:
             outputs = supervisor.supervise()
         except BaseException:

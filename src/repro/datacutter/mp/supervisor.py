@@ -1,19 +1,28 @@
-"""Pipeline supervision: liveness, failure detection, clean teardown.
+"""Pipeline supervision: liveness, failure detection, recovery, teardown.
 
 The supervisor runs in the parent process alongside the workers.  Its
-loop interleaves four duties until the run completes or fails:
+loop interleaves five duties until the run completes or fails:
 
 1. drain the collector edge (the run's outputs must be consumed
    continuously — the collector is unbounded, but leaving results in the
    pipe would hold worker feeder threads alive);
-2. drain the control queue: error reports, per-stream statistics, and
+2. drain the control queue: error reports, per-stream statistics,
+   recovery progress (in-flight packets, checkpointed acks), and
    ``done`` handshakes;
 3. watch process sentinels: a worker that exits without having sent
    ``done`` was killed or crashed hard (segfault, ``os._exit``) — after a
-   short grace period for in-flight messages it is declared dead and the
-   run fails, naming the filter copy;
-4. enforce the optional wall-clock ``timeout``, using the workers'
-   heartbeat stamps to name the stalest filter in the error.
+   short grace period for in-flight messages it is declared dead;
+4. **recover**: with a retry budget configured, a failed or dead worker
+   is respawned from its last acknowledged checkpoint plus the replay
+   set of delivered-but-unacknowledged packets (see
+   :mod:`repro.datacutter.recovery`); a ``restart`` span lands in the
+   trace.  Without budget (or with the copy non-restorable) the run
+   fails, naming the filter copy and its attempt count;
+5. enforce the optional wall-clock ``timeout``, plus a post-end-of-stream
+   completion deadline: once the collector has seen full end-of-stream,
+   every worker must hand in ``done`` within ``post_eos_timeout`` seconds
+   of the last progress — a live worker that never reports cannot spin
+   the loop forever, it fails the run with a stalest-heartbeat diagnostic.
 
 On failure the supervisor terminates every surviving worker, reclaims
 undelivered shared-memory segments from all edges, and raises
@@ -24,13 +33,16 @@ filter's traceback (or kill diagnosis) — no hang, no orphan processes.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from multiprocessing import connection
 from queue import Empty
-from typing import Any
+from typing import Any, Callable
 
 from ..buffers import Buffer, StreamStats
-from ..obs.trace import TraceCollector
+from ..obs.trace import Span, TraceCollector
+from ..recovery.faults import FaultPlan
+from ..recovery.policy import RetryPolicy
+from ..recovery.replay import CopyProgress
 from ..runtime import PipelineError
 from .channels import ProcessEdge
 from .transport import EndOfStream
@@ -45,6 +57,30 @@ class WorkerHandle:
     label: str  # "filtername#copy"
 
 
+@dataclass(slots=True)
+class _WorkerRecovery:
+    """Parent-side recovery bookkeeping for one logical filter copy."""
+
+    #: attempts started so far (the initial spawn counts as 1)
+    attempts: int = 1
+    #: last acknowledged checkpoint (pickled bytes), None when stateless
+    checkpoint: bytes | None = None
+    #: False once the worker reported unpicklable state: no restart possible
+    restorable: bool = True
+    #: delivered-but-unacknowledged packets, keyed by delivery sequence
+    inflight: dict[int, Buffer] = field(default_factory=dict)
+    #: next delivery sequence number for a restarted incarnation
+    next_seq: int = 0
+    #: input-stream sentinels the copy has consumed (gone from the queue)
+    eos_count: int = 0
+    #: the copy's input stream fully closed
+    eos_seen: bool = False
+    #: source copies: owned packet indices already flushed downstream
+    emitted: set[int] = field(default_factory=set)
+    #: traceback text from the latest ("error", ...) report, if any
+    pending_error: str | None = None
+
+
 class Supervisor:
     def __init__(
         self,
@@ -56,6 +92,10 @@ class Supervisor:
         timeout: float | None = None,
         death_grace: float = 2.0,
         trace: TraceCollector | None = None,
+        retry: RetryPolicy | None = None,
+        faults: FaultPlan | None = None,
+        respawn: Callable[[int, CopyProgress], Any] | None = None,
+        post_eos_timeout: float | None = 60.0,
     ) -> None:
         self.workers = workers
         self.control = control
@@ -65,18 +105,36 @@ class Supervisor:
         self.timeout = timeout
         self.death_grace = death_grace
         self.trace = trace
+        self.retry = retry
+        self.respawn = respawn
+        self.post_eos_timeout = post_eos_timeout
         self.errors: list[str] = []
         self.stats: dict[str, StreamStats] = {}
+        self.restarts: int = 0
         self._done: set[int] = set()
         self._by_id = {w.worker_id: w for w in workers}
+        self._pending_dead: dict[int, float] = {}
+        # recovery is active when a retry policy or fault plan is present
+        # AND the engine provided a respawn hook; the policy defaults to a
+        # single attempt so faults-without-retry still fail cleanly
+        self._recovering = respawn is not None and (
+            retry is not None or faults is not None
+        )
+        self._policy = retry or RetryPolicy(max_attempts=1)
+        self._recovery: dict[int, _WorkerRecovery] = (
+            {w.worker_id: _WorkerRecovery() for w in workers}
+            if self._recovering
+            else {}
+        )
 
     # ------------------------------------------------------------------ api
     def supervise(self) -> list[Buffer]:
         """Run to completion; returns outputs or raises PipelineError."""
         outputs: list[Buffer] = []
         eos_seen = False
-        pending_dead: dict[int, float] = {}
         deadline = time.monotonic() + self.timeout if self.timeout else None
+        post_eos_deadline: float | None = None
+        done_at_deadline = -1
 
         while True:
             self._drain_control()
@@ -85,20 +143,24 @@ class Supervisor:
                 break
             now = time.monotonic()
             for w in self.workers:
-                if w.worker_id in self._done or w.worker_id in pending_dead:
+                if w.worker_id in self._done or w.worker_id in self._pending_dead:
                     continue
                 if not w.process.is_alive():
-                    pending_dead[w.worker_id] = now
-            for wid, t_dead in pending_dead.items():
+                    self._pending_dead[w.worker_id] = now
+            for wid, t_dead in list(self._pending_dead.items()):
                 if wid in self._done:
                     continue
                 if now - t_dead >= self.death_grace:
                     w = self._by_id[wid]
-                    self.errors.append(
+                    diagnosis = (
                         f"filter {w.label} died without reporting "
                         f"(exit code {w.process.exitcode}); "
                         "the worker process was killed or crashed"
                     )
+                    if self._recovering:
+                        self._maybe_restart(wid, diagnosis)
+                    else:
+                        self.errors.append(diagnosis)
             if self.errors:
                 break
             if eos_seen and len(self._done) == len(self.workers):
@@ -106,6 +168,17 @@ class Supervisor:
             if deadline is not None and now > deadline:
                 self.errors.append(self._timeout_message())
                 break
+            # post-EOS completion deadline: the run's outputs are all in,
+            # so only 'done' handshakes are outstanding — a worker that
+            # never sends one must not spin this loop forever.  The clock
+            # restarts whenever another worker reports (progress).
+            if eos_seen and self.post_eos_timeout is not None:
+                if post_eos_deadline is None or len(self._done) != done_at_deadline:
+                    done_at_deadline = len(self._done)
+                    post_eos_deadline = now + self.post_eos_timeout
+                elif now > post_eos_deadline:
+                    self.errors.append(self._post_eos_message())
+                    break
             sentinels = [
                 w.process.sentinel for w in self.workers if w.process.is_alive()
             ]
@@ -139,8 +212,14 @@ class Supervisor:
                 return
             kind = msg[0]
             if kind == "error":
-                _, label, tb = msg
-                self.errors.append(f"filter {label} failed:\n{tb}")
+                _, label, tb, wid = msg
+                text = f"filter {label} failed:\n{tb}"
+                if self._recovering:
+                    # held back: the matching ("done", wid, True) decides
+                    # between restart and final failure
+                    self._recovery[wid].pending_error = text
+                else:
+                    self.errors.append(text)
             elif kind == "stats":
                 _, _wid, stream, buffers, nbytes, by_packet = msg
                 agg = self.stats.setdefault(stream, StreamStats())
@@ -160,8 +239,82 @@ class Supervisor:
                     for blk in blocked:
                         self.trace.record_blocked(blk)
             elif kind == "done":
-                _, wid, _failed = msg
-                self._done.add(wid)
+                _, wid, failed = msg
+                if failed and self._recovering:
+                    rec = self._recovery[wid]
+                    reason = rec.pending_error or (
+                        f"filter {self._by_id[wid].label} failed"
+                    )
+                    self._maybe_restart(wid, reason)
+                else:
+                    self._done.add(wid)
+            elif kind == "inflight":
+                _, wid, seq, buf = msg
+                rec = self._recovery[wid]
+                rec.inflight[seq] = buf
+                rec.next_seq = max(rec.next_seq, seq + 1)
+            elif kind == "ack":
+                _, wid, seq, blob, restorable = msg
+                rec = self._recovery[wid]
+                rec.checkpoint = blob
+                rec.restorable = restorable
+                rec.inflight.pop(seq, None)
+                rec.next_seq = max(rec.next_seq, seq + 1)
+            elif kind == "genack":
+                _, wid, packet = msg
+                self._recovery[wid].emitted.add(packet)
+            elif kind == "seos":
+                _, wid, tally = msg
+                rec = self._recovery[wid]
+                rec.eos_count = max(rec.eos_count, tally)
+            elif kind == "eos":
+                _, wid = msg
+                self._recovery[wid].eos_seen = True
+
+    def _maybe_restart(self, wid: int, reason: str) -> bool:
+        """Respawn a failed copy within budget; record the final error
+        otherwise.  Returns True when a restart was launched."""
+        rec = self._recovery[wid]
+        w = self._by_id[wid]
+        name = w.label.rsplit("#", 1)[0]
+        budget = self._policy.attempts_for(name)
+        if rec.attempts >= budget:
+            self.errors.append(
+                f"filter {w.label} failed after {rec.attempts} attempt(s) "
+                f"(retry budget {budget}):\n{reason}"
+            )
+            return False
+        if not rec.restorable:
+            self.errors.append(
+                f"filter {w.label} cannot be restarted: its state was not "
+                f"picklable at the last checkpoint; original failure:\n{reason}"
+            )
+            return False
+        t0 = time.perf_counter()
+        # reap the dead incarnation before its replacement starts
+        w.process.join(timeout=5)
+        time.sleep(self._policy.backoff_for(rec.attempts))
+        progress = CopyProgress(
+            attempt=rec.attempts,
+            checkpoint=rec.checkpoint,
+            replay=sorted(rec.inflight.items()),
+            seq_start=rec.next_seq,
+            eos_preset=rec.eos_count,
+            emitted=set(rec.emitted),
+            eos_seen=rec.eos_seen,
+        )
+        rec.attempts += 1
+        rec.pending_error = None
+        self.restarts += 1
+        w.process = self.respawn(wid, progress)
+        self.heartbeats[wid] = time.monotonic()
+        self._pending_dead.pop(wid, None)
+        if self.trace is not None:
+            copy = int(w.label.rsplit("#", 1)[1])
+            self.trace.record_span(
+                Span(name, copy, "restart", None, t0, time.perf_counter())
+            )
+        return True
 
     def _drain_collector(self, outputs: list[Buffer]) -> bool:
         eos = False
@@ -177,20 +330,35 @@ class Supervisor:
             else:
                 outputs.append(item)
 
-    def _timeout_message(self) -> str:
+    def _stalest_suffix(self, unfinished: list[WorkerHandle]) -> str:
         now = time.monotonic()
-        unfinished = [w for w in self.workers if w.worker_id not in self._done]
         stalest = max(
             unfinished,
             key=lambda w: now - self.heartbeats[w.worker_id],
             default=None,
         )
+        if stalest is None:
+            return ""
+        age = now - self.heartbeats[stalest.worker_id]
+        return f"; stalest heartbeat: {stalest.label} ({age:.1f}s ago)"
+
+    def _timeout_message(self) -> str:
+        unfinished = [w for w in self.workers if w.worker_id not in self._done]
         names = ", ".join(w.label for w in unfinished) or "<none>"
-        msg = f"pipeline timed out after {self.timeout:.1f}s; unfinished: {names}"
-        if stalest is not None:
-            age = now - self.heartbeats[stalest.worker_id]
-            msg += f"; stalest heartbeat: {stalest.label} ({age:.1f}s ago)"
-        return msg
+        return (
+            f"pipeline timed out after {self.timeout:.1f}s; "
+            f"unfinished: {names}" + self._stalest_suffix(unfinished)
+        )
+
+    def _post_eos_message(self) -> str:
+        unfinished = [w for w in self.workers if w.worker_id not in self._done]
+        names = ", ".join(w.label for w in unfinished) or "<none>"
+        return (
+            "pipeline output is complete (end-of-stream reached) but "
+            f"{len(unfinished)} worker(s) never reported done within "
+            f"{self.post_eos_timeout:.1f}s: {names}"
+            + self._stalest_suffix(unfinished)
+        )
 
     def _teardown(self) -> None:
         """Terminate survivors and reclaim in-flight shared memory."""

@@ -6,7 +6,8 @@ Runs the unit-of-work protocol shared with the threaded engine
 ``get``/``process`` loop until end-of-stream, then ``finalize``) and
 reports to the supervisor over the control queue:
 
-* ``("error", label, traceback_text)`` when a filter callback raises;
+* ``("error", label, traceback_text, worker_id)`` when a filter callback
+  raises;
 * ``("trace", worker_id, spans, queue_samples, blocked)`` with the
   worker-side event buffer when tracing is enabled — spans and queue
   gauges are recorded into a process-local
@@ -21,10 +22,30 @@ A worker that is killed sends nothing — the supervisor detects that
 through the process sentinel and raises on the caller's side.  Each worker
 also stamps a heartbeat slot (monotonic seconds) before every packet so
 the supervisor's timeout diagnostics can name the slowest/stalled filter.
+
+With recovery enabled (a :class:`~repro.datacutter.recovery.replay.CopyProgress`
+is passed), the worker runs
+:func:`~repro.datacutter.recovery.replay.run_recoverable_copy` instead and
+additionally streams per-packet progress for the supervisor's restart
+bookkeeping:
+
+* ``("inflight", worker_id, seq, buffer)`` — delivered, not yet done;
+* ``("ack", worker_id, seq, state_blob, restorable)`` — packet retired,
+  carrying the pickled post-packet checkpoint (atomically: a packet is
+  either inside the checkpoint or in the supervisor's replay set);
+* ``("genack", worker_id, packet)`` — a source copy flushed an owned
+  packet (restart skips it during regeneration);
+* ``("seos", worker_id, tally)`` / ``("eos", worker_id)`` — input-stream
+  sentinels consumed so far / input fully closed.
+
+Under recovery a *failed* worker does not close its output edge — the
+respawned incarnation keeps producing on the same logical stream, and
+only the final successful attempt (or supervisor teardown) closes it.
 """
 
 from __future__ import annotations
 
+import os
 import sys
 import time
 import traceback
@@ -32,8 +53,37 @@ from typing import Any
 
 from ..filters import Filter, FilterContext, FilterSpec
 from ..obs.trace import Trace
+from ..recovery.checkpoint import CheckpointError, freeze_state
+from ..recovery.faults import FaultPlan, FaultSpec, make_injector
+from ..recovery.replay import CopyProgress, run_recoverable_copy
 from ..runtime import run_filter_copy
 from .channels import ProcessEdge
+
+
+class ControlRecoverySink:
+    """Recovery bookkeeping shipped to the supervisor as control messages."""
+
+    def __init__(self, control: Any, worker_id: int) -> None:
+        self._control = control
+        self._wid = worker_id
+
+    def on_inflight(self, seq: int, buf: Any) -> None:
+        self._control.put(("inflight", self._wid, seq, buf))
+
+    def on_ack(self, seq: int, state: dict | None) -> None:
+        try:
+            blob, restorable = freeze_state(state), True
+        except CheckpointError:
+            # the copy keeps running; it just cannot be resumed from a
+            # checkpoint — the supervisor fails fast if it later dies
+            blob, restorable = None, False
+        self._control.put(("ack", self._wid, seq, blob, restorable))
+
+    def on_gen_ack(self, packet: int) -> None:
+        self._control.put(("genack", self._wid, packet))
+
+    def on_eos(self) -> None:
+        self._control.put(("eos", self._wid))
 
 
 def worker_main(
@@ -45,8 +95,11 @@ def worker_main(
     control: Any,
     heartbeats: Any,
     trace_enabled: bool = False,
+    faults: FaultPlan | None = None,
+    progress: CopyProgress | None = None,
 ) -> None:
     label = f"{spec.name}#{copy_index}"
+    recovery = progress is not None
 
     def beat() -> None:
         heartbeats[worker_id] = time.monotonic()
@@ -70,27 +123,37 @@ def worker_main(
     failed = False
     beat()
     try:
-        run_filter_copy(
-            filt,
-            ctx,
-            spec,
-            copy_index,
-            in_edge,
-            out_edge,
-            trace=trace,
-            heartbeat=beat,
-        )
+        if recovery:
+            _run_recoverable(
+                worker_id, spec, copy_index, in_edge, out_edge, control,
+                filt, ctx, beat, trace, faults, progress,
+            )
+        else:
+            run_filter_copy(
+                filt,
+                ctx,
+                spec,
+                copy_index,
+                in_edge,
+                out_edge,
+                trace=trace,
+                heartbeat=beat,
+            )
     except BaseException:  # noqa: BLE001 - reported to the supervisor
         failed = True
         try:
-            control.put(("error", label, traceback.format_exc()))
+            control.put(("error", label, traceback.format_exc(), worker_id))
         except Exception:  # pragma: no cover - control pipe gone
             pass
     finally:
-        try:
-            out_edge.close_producer()
-        except Exception:  # pragma: no cover - queue torn down under us
-            pass
+        if not (failed and recovery):
+            # under recovery a failed attempt must NOT close: a restarted
+            # incarnation keeps producing on this logical stream, and a
+            # premature sentinel would end it for every consumer
+            try:
+                out_edge.close_producer()
+            except Exception:  # pragma: no cover - queue torn down under us
+                pass
         try:
             if trace is not None:
                 control.put(
@@ -117,3 +180,52 @@ def worker_main(
             pass
     if failed:
         sys.exit(1)
+
+
+def _run_recoverable(
+    worker_id: int,
+    spec: FilterSpec,
+    copy_index: int,
+    in_edge: ProcessEdge | None,
+    out_edge: ProcessEdge,
+    control: Any,
+    filt: Filter,
+    ctx: FilterContext,
+    beat: Any,
+    trace: Any,
+    faults: FaultPlan | None,
+    progress: CopyProgress,
+) -> None:
+    if in_edge is not None:
+        if progress.eos_preset:
+            in_edge.preset_eos(copy_index, progress.eos_preset)
+        in_edge.on_eos = lambda tally: control.put(("seos", worker_id, tally))
+
+    def crash(_fault: FaultSpec) -> None:
+        # fail-stop: flush the feeders so committed packets/acks survive,
+        # then die with no error report and no 'done' — the supervisor
+        # must notice through the process sentinel alone
+        out_edge.flush_producer()
+        try:
+            control.close()
+            control.join_thread()
+        except Exception:  # pragma: no cover - control pipe gone
+            pass
+        os._exit(1)
+
+    injector = make_injector(
+        faults, spec.name, copy_index, progress.attempt, crash=crash
+    )
+    run_recoverable_copy(
+        filt,
+        ctx,
+        spec,
+        copy_index,
+        in_edge,
+        out_edge,
+        progress=progress,
+        sink=ControlRecoverySink(control, worker_id),
+        trace=trace,
+        heartbeat=beat,
+        injector=injector,
+    )

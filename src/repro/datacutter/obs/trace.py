@@ -37,8 +37,10 @@ from typing import Any, Iterable, Protocol, runtime_checkable
 #: reduction-flush buffers (packet -2) land in the same overhead bucket
 OVERHEAD_PACKET = -2
 
-#: the four phases of the filter unit-of-work protocol, in order
-PHASES = ("init", "generate", "process", "finalize")
+#: the four phases of the filter unit-of-work protocol, in order, plus
+#: "restart" — a recovery event marking the backoff-and-respawn of a
+#: failed filter copy (its duration covers backoff through respawn)
+PHASES = ("init", "generate", "process", "finalize", "restart")
 
 #: a stream put()/get() slower than this is recorded as blocked time
 BLOCKED_MIN_SECONDS = 1e-3
@@ -62,8 +64,8 @@ class Span:
 
     filter: str
     copy: int
-    phase: str  # init | generate | process | finalize
-    packet: int | None  # None for init/finalize
+    phase: str  # init | generate | process | finalize | restart
+    packet: int | None  # None for init/finalize/restart
     t0: float
     t1: float
 
@@ -200,6 +202,10 @@ class Trace:
 
     def phases_of(self, who: str) -> set[str]:
         return {s.phase for s in self.spans if s.who == who}
+
+    def restarts(self, filter: str | None = None) -> list[Span]:
+        """Recovery restarts recorded this run (optionally one filter's)."""
+        return self.spans_for(filter=filter, phase="restart")
 
     def seconds_by_packet(self, filter: str) -> dict[int, float]:
         """Per-packet busy seconds of one logical filter (all copies).

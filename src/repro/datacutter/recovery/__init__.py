@@ -1,0 +1,77 @@
+"""Packet-granularity fault tolerance for filter pipelines.
+
+The paper's ``PipelinedLoop`` semantics (§3) make packets independent
+except through reduction objects whose accumulation is associative and
+commutative.  That property is exactly what makes two recovery moves
+*provably safe* for the runtime to perform behind the program's back:
+
+* **packet replay** — a packet delivered to a filter copy that died
+  before acknowledging it can be re-delivered to a restarted copy; no
+  other packet's result can observe the difference;
+* **reduction checkpointing** — a filter holding reduction state can
+  snapshot its accumulator at packet boundaries and a restarted copy can
+  resume from the last checkpoint without double-counting, because the
+  checkpoint records exactly which packets it folds in.
+
+This package is the engine-independent half of that machinery, shared by
+:class:`~repro.datacutter.runtime.ThreadedPipeline` (in-thread retry
+loops) and the process engine's supervisor (worker respawn):
+
+* :mod:`~repro.datacutter.recovery.policy` — :class:`RetryPolicy`
+  (attempt budgets, exponential backoff with jitter, per-filter
+  overrides);
+* :mod:`~repro.datacutter.recovery.faults` — :class:`FaultPlan` /
+  :class:`FaultInjector`, the deterministic fault injection used by
+  tests, CI, and the ``python -m repro chaos`` CLI;
+* :mod:`~repro.datacutter.recovery.checkpoint` — accumulator
+  snapshot/restore at packet boundaries;
+* :mod:`~repro.datacutter.recovery.replay` — the recoverable
+  unit-of-work runner (transactional per-packet emits, in-flight
+  tracking, replay) plus :class:`CopyProgress`, the record of one
+  logical copy's survivable progress that a restart resumes from.
+
+Recovery is opt-in: with ``EngineOptions(retry=None, faults=None)`` —
+the default — both engines run the legacy zero-overhead path.
+"""
+
+from .checkpoint import (
+    CheckpointError,
+    clone_state,
+    freeze_state,
+    restore_state,
+    snapshot_state,
+)
+from .faults import (
+    FAULT_KINDS,
+    FaultInjected,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedCrash,
+)
+from .policy import RetryPolicy
+from .replay import (
+    CopyProgress,
+    LocalRecoverySink,
+    RecoverySink,
+    run_recoverable_copy,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "CheckpointError",
+    "CopyProgress",
+    "FaultInjected",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedCrash",
+    "LocalRecoverySink",
+    "RecoverySink",
+    "RetryPolicy",
+    "clone_state",
+    "freeze_state",
+    "restore_state",
+    "run_recoverable_copy",
+    "snapshot_state",
+]

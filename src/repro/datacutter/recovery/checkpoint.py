@@ -1,0 +1,111 @@
+"""Reduction-state checkpointing at packet boundaries.
+
+A filter that accumulates across packets (the generated filters'
+``self._red_*`` reduction objects, a hand-written sink's running total)
+cannot simply be restarted: the replacement copy would lose everything
+folded in so far.  Because reduction accumulation is associative and
+commutative (§3), snapshotting the accumulator *between* packets and
+restoring it in the restarted copy is safe — the checkpoint plus replay
+of unacknowledged packets reproduces exactly the fault-free
+accumulation, with no double-counting (a packet is either inside the
+checkpoint or in the replay set, never both: the acknowledgement that
+retires a packet carries the snapshot that includes it).
+
+Protocol: a filter may implement ``snapshot() -> state`` and
+``restore(state)`` for explicit control; otherwise the default
+checkpoints the instance ``__dict__`` (skipping the shared run-params
+mapping, which ``init`` reconstitutes).  Generated filter classes are
+anchored for pickling by :mod:`repro.codegen.generated_registry`, so the
+default covers compiled pipelines on both engines.
+"""
+
+from __future__ import annotations
+
+import copy
+import pickle
+from typing import Any
+
+#: key marking a custom filter.snapshot() payload inside a state dict
+_CUSTOM = "__filter_snapshot__"
+
+
+class CheckpointError(RuntimeError):
+    """A copy's state cannot cross the restart boundary (not picklable
+    on the process engine); the copy is not restartable."""
+
+
+def snapshot_state(filt: Any, ctx: Any = None) -> dict[str, Any] | None:
+    """Capture a filter copy's accumulator state at a packet boundary.
+
+    Returns None for stateless filters (nothing to checkpoint, restart
+    is free).  The caller must copy/pickle the result *immediately* —
+    the dict references live accumulator objects that the next packet
+    will mutate (see :func:`clone_state` / :func:`freeze_state`)."""
+    snap = getattr(filt, "snapshot", None)
+    if callable(snap):
+        return {_CUSTOM: snap()}
+    attrs = getattr(filt, "__dict__", None)
+    if not attrs:
+        return None
+    params = getattr(ctx, "params", None) if ctx is not None else None
+    state = {
+        key: value
+        for key, value in attrs.items()
+        if params is None or value is not params
+    }
+    return state or None
+
+
+def clone_state(state: dict[str, Any] | None) -> dict[str, Any] | None:
+    """Detach a snapshot from the live accumulator (same-process retry:
+    pickle round-trip when possible, deepcopy otherwise)."""
+    if state is None:
+        return None
+    try:
+        return pickle.loads(pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        return copy.deepcopy(state)
+
+
+def freeze_state(state: dict[str, Any] | None) -> bytes | None:
+    """Serialize a snapshot for the trip to the supervising process.
+
+    Raises :class:`CheckpointError` when the state cannot be pickled —
+    the caller marks the copy non-restartable so a later failure fails
+    fast with a clear diagnosis instead of resuming from nothing."""
+    if state is None:
+        return None
+    try:
+        return pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as err:
+        raise CheckpointError(
+            f"filter state is not picklable ({err}); the copy cannot be "
+            "restarted from a checkpoint"
+        ) from err
+
+
+def restore_state(filt: Any, state: Any, ctx: Any = None) -> None:
+    """Resume a fresh (post-``init``) filter copy from a checkpoint.
+
+    Accepts either a state dict (threaded retry) or pickled bytes (a
+    supervisor-held checkpoint crossing the fork)."""
+    if state is None:
+        return
+    if isinstance(state, (bytes, bytearray)):
+        state = pickle.loads(bytes(state))
+    if _CUSTOM in state:
+        restore = getattr(filt, "restore", None)
+        if not callable(restore):
+            raise CheckpointError(
+                f"{type(filt).__name__} produced a snapshot() checkpoint "
+                "but has no restore() method"
+            )
+        restore(state[_CUSTOM])
+        return
+    attrs = getattr(filt, "__dict__", None)
+    if attrs is None:  # pragma: no cover - slots-only stateful filter
+        raise CheckpointError(
+            f"{type(filt).__name__} has checkpoint state but no __dict__ "
+            "to restore it into; implement snapshot()/restore()"
+        )
+    attrs.update(state)

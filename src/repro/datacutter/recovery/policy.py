@@ -1,0 +1,74 @@
+"""Retry policy: how many times, and how long between attempts.
+
+One :class:`RetryPolicy` rides on
+:class:`~repro.datacutter.engine.EngineOptions` and is interpreted by
+both engines identically: a filter copy gets ``attempts_for(name)``
+total attempts (first run included), with exponential backoff and
+jitter between them so restarted copies of a widened stage don't
+stampede the survivor's queues in lockstep.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Mapping
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """Attempt budget and backoff schedule for filter-copy recovery.
+
+    ``max_attempts`` counts *total* attempts per logical filter copy,
+    first run included — ``max_attempts=3`` means up to two restarts.
+    ``per_filter`` overrides the budget for individual logical filters
+    by name (e.g. give a flaky data-host source more headroom than the
+    viewing sink).
+    """
+
+    #: total attempts per filter copy (>= 1); 1 disables retry
+    max_attempts: int = 3
+    #: backoff before restart r (1-based): base * factor**(r-1), capped
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    #: uniform jitter fraction applied to the backoff (0 disables)
+    jitter: float = 0.1
+    #: logical filter name -> max_attempts override
+    per_filter: Mapping[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ValueError("backoff seconds must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1.0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be a fraction in [0, 1]")
+        for name, attempts in self.per_filter.items():
+            if attempts < 1:
+                raise ValueError(
+                    f"per_filter[{name!r}] must be >= 1, got {attempts}"
+                )
+
+    def attempts_for(self, filter_name: str) -> int:
+        """Total attempt budget for one logical filter."""
+        return int(self.per_filter.get(filter_name, self.max_attempts))
+
+    def backoff_for(
+        self, restart: int, rng: random.Random | None = None
+    ) -> float:
+        """Seconds to wait before restart number ``restart`` (1-based)."""
+        if restart < 1:
+            return 0.0
+        delay = min(
+            self.backoff_base * self.backoff_factor ** (restart - 1),
+            self.backoff_max,
+        )
+        if self.jitter > 0.0:
+            r = rng.random() if rng is not None else random.random()
+            delay *= 1.0 + self.jitter * (2.0 * r - 1.0)
+        return max(delay, 0.0)

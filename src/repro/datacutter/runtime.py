@@ -23,6 +23,9 @@ from typing import Any, Sequence
 from .buffers import Buffer
 from .filters import Filter, FilterContext, FilterSpec, SourceFilter
 from .obs.trace import Span, TraceCollector
+from .recovery.faults import FaultPlan, make_injector
+from .recovery.policy import RetryPolicy
+from .recovery.replay import LocalRecoverySink, run_recoverable_copy
 from .streams import CollectorStream, LogicalStream, RoundRobin
 
 
@@ -59,6 +62,8 @@ class ThreadedPipeline:
         queue_capacity: int = 32,
         join_timeout: float = 60.0,
         trace: TraceCollector | None = None,
+        retry: RetryPolicy | None = None,
+        faults: FaultPlan | None = None,
     ) -> None:
         if not specs:
             raise ValueError("pipeline needs at least one filter")
@@ -71,6 +76,8 @@ class ThreadedPipeline:
         self.queue_capacity = queue_capacity
         self.join_timeout = join_timeout
         self.trace = trace
+        self.retry = retry
+        self.faults = FaultPlan.coerce(faults)
 
     def run(self) -> RunResult:
         specs = self.specs
@@ -79,13 +86,17 @@ class ThreadedPipeline:
             trace.note(engine=self.engine_name)
         streams: list[LogicalStream] = []
         for k in range(len(specs) - 1):
+            policy = specs[k].out_policy or RoundRobin()
+            # spec-attached policies survive across runs; reset any routing
+            # cursor so run N+1 routes identically to run N
+            policy.reset()
             streams.append(
                 LogicalStream(
                     name=f"{specs[k].name}->{specs[k + 1].name}",
                     n_producers=specs[k].width,
                     n_consumers=specs[k + 1].width,
                     capacity=self.queue_capacity,
-                    policy=specs[k].out_policy or RoundRobin(),
+                    policy=policy,
                     trace=trace,
                 )
             )
@@ -144,8 +155,8 @@ class ThreadedPipeline:
         result.stream_by_packet[collector.name] = dict(collector.stats.by_packet)
         return result
 
-    @staticmethod
     def _run_copy(
+        self,
         spec: FilterSpec,
         copy_index: int,
         in_stream: LogicalStream | None,
@@ -153,6 +164,11 @@ class ThreadedPipeline:
         errors: list[str],
         trace: TraceCollector | None = None,
     ) -> None:
+        if self.retry is not None or self.faults is not None:
+            self._run_copy_recoverable(
+                spec, copy_index, in_stream, out_stream, errors, trace
+            )
+            return
         ctx = FilterContext(
             name=spec.name,
             copy_index=copy_index,
@@ -169,6 +185,77 @@ class ThreadedPipeline:
             errors.append(
                 f"filter {spec.name}#{copy_index} failed:\n{traceback.format_exc()}"
             )
+        finally:
+            out_stream.close_producer()
+
+    def _run_copy_recoverable(
+        self,
+        spec: FilterSpec,
+        copy_index: int,
+        in_stream: LogicalStream | None,
+        out_stream: LogicalStream,
+        errors: list[str],
+        trace: TraceCollector | None = None,
+    ) -> None:
+        """In-thread retry loop for one logical filter copy.
+
+        Each attempt gets a fresh filter instance resumed from the
+        :class:`~repro.datacutter.recovery.replay.LocalRecoverySink`'s
+        bookkeeping — checkpointed state plus replay of unacknowledged
+        packets — so a mid-packet failure never loses or duplicates
+        packet effects downstream."""
+        policy = self.retry or RetryPolicy(max_attempts=1)
+        budget = policy.attempts_for(spec.name)
+        sink = LocalRecoverySink()
+        try:
+            for attempt in range(budget):
+                if attempt > 0:
+                    restart_t0 = time.perf_counter()
+                    time.sleep(policy.backoff_for(attempt))
+                ctx = FilterContext(
+                    name=spec.name,
+                    copy_index=copy_index,
+                    n_copies=spec.width,
+                    emit=out_stream.put,
+                    params=spec.params,
+                )
+                filt: Filter = spec.make()
+                injector = make_injector(
+                    self.faults, spec.name, copy_index, attempt
+                )
+                if attempt > 0 and trace is not None:
+                    trace.record_span(
+                        Span(
+                            spec.name,
+                            copy_index,
+                            "restart",
+                            None,
+                            restart_t0,
+                            time.perf_counter(),
+                        )
+                    )
+                try:
+                    run_recoverable_copy(
+                        filt,
+                        ctx,
+                        spec,
+                        copy_index,
+                        in_stream,
+                        out_stream,
+                        progress=sink.progress(attempt),
+                        sink=sink,
+                        trace=trace,
+                        injector=injector,
+                    )
+                    return
+                except Exception:  # noqa: BLE001 - retried or reported
+                    if attempt + 1 >= budget:
+                        errors.append(
+                            f"filter {spec.name}#{copy_index} failed after "
+                            f"{attempt + 1} attempt(s) (retry budget {budget}):\n"
+                            f"{traceback.format_exc()}"
+                        )
+                        return
         finally:
             out_stream.close_producer()
 
@@ -215,18 +302,22 @@ def run_filter_copy(
                 payload = next(gen)
             except StopIteration:
                 break
-            if trace is not None:
-                trace.record_span(
-                    Span(
-                        spec.name,
-                        copy_index,
-                        "generate",
-                        packet,
-                        t0,
-                        time.perf_counter(),
-                    )
-                )
             if packet % spec.width == copy_index:
+                # trace only packets this copy owns: every copy runs the
+                # generator over the full packet sequence and discards the
+                # other width-1 shares, so tracing unconditionally would
+                # count each packet width times and skew source cost
+                if trace is not None:
+                    trace.record_span(
+                        Span(
+                            spec.name,
+                            copy_index,
+                            "generate",
+                            packet,
+                            t0,
+                            time.perf_counter(),
+                        )
+                    )
                 if isinstance(payload, Buffer):
                     out_stream.put(payload)
                 else:

@@ -28,10 +28,18 @@ _EOS = object()
 
 
 class DistributionPolicy:
-    """Chooses the consumer copy for each buffer."""
+    """Chooses the consumer copy for each buffer.
+
+    A policy instance attached to a :class:`~repro.datacutter.filters.FilterSpec`
+    outlives any single run, so stateful policies must implement
+    :meth:`reset`; the engines call it when wiring streams so routing is
+    identical on every run of the same specs."""
 
     def choose(self, buf: Buffer, n_consumers: int) -> int:  # pragma: no cover
         raise NotImplementedError
+
+    def reset(self) -> None:  # noqa: B027 - stateless policies need nothing
+        """Forget any routing state carried over from a previous run."""
 
 
 class RoundRobin(DistributionPolicy):
@@ -46,6 +54,10 @@ class RoundRobin(DistributionPolicy):
             idx = self._next
             self._next = (self._next + 1) % n_consumers
             return idx
+
+    def reset(self) -> None:
+        with self._lock:
+            self._next = 0
 
 
 class ByPacket(DistributionPolicy):
@@ -71,19 +83,26 @@ class LogicalStream:
         name: str,
         n_producers: int = 1,
         n_consumers: int = 1,
-        capacity: int = 16,
+        capacity: int | None = 16,
         policy: Optional[DistributionPolicy] = None,
         trace: Optional[TraceCollector] = None,
     ) -> None:
         if n_producers < 1 or n_consumers < 1:
             raise ValueError("streams need at least one copy on each side")
+        if capacity is not None and capacity < 1:
+            raise ValueError(
+                f"stream {name}: capacity must be >= 1 or None for unbounded, "
+                f"got {capacity} (queue.Queue would silently treat it as "
+                "unbounded, disabling backpressure)"
+            )
         self.name = name
         self.n_producers = n_producers
         self.n_consumers = n_consumers
         self.policy = policy or RoundRobin()
         self.trace = trace
         self._queues: list[queue.Queue] = [
-            queue.Queue(maxsize=capacity) for _ in range(n_consumers)
+            queue.Queue(maxsize=0 if capacity is None else capacity)
+            for _ in range(n_consumers)
         ]
         self._open_producers = n_producers
         self._lock = threading.Lock()
@@ -93,20 +112,24 @@ class LogicalStream:
     def put(self, buf: Buffer) -> None:
         self.stats.record(buf)
         target = self.policy.choose(buf, self.n_consumers)
-        if target == -1:
-            for q in self._queues:
-                q.put(buf)
-            return
         trace = self.trace
         if trace is None:
-            self._queues[target].put(buf)
+            if target == -1:
+                for q in self._queues:
+                    q.put(buf)
+            else:
+                self._queues[target].put(buf)
             return
-        q = self._queues[target]
-        t0 = time.perf_counter()
-        q.put(buf)
-        record_queue_op(
-            trace, self.name, "put", t0, time.perf_counter(), q.qsize()
-        )
+        # broadcast (-1) fans out to every consumer queue; each put is its
+        # own queue op so blocked-put time on any full copy is accounted
+        targets = range(self.n_consumers) if target == -1 else (target,)
+        for idx in targets:
+            q = self._queues[idx]
+            t0 = time.perf_counter()
+            q.put(buf)
+            record_queue_op(
+                trace, self.name, "put", t0, time.perf_counter(), q.qsize()
+            )
 
     def close_producer(self) -> None:
         """Called by each producer copy when it finishes its unit-of-work;
@@ -156,11 +179,10 @@ class CollectorStream(LogicalStream):
         n_producers: int = 1,
         trace: Optional[TraceCollector] = None,
     ) -> None:
+        # unbounded (capacity=None) so the sink never blocks the pipeline
         super().__init__(
-            name, n_producers=n_producers, n_consumers=1, capacity=0, trace=trace
+            name, n_producers=n_producers, n_consumers=1, capacity=None, trace=trace
         )
-        # unbounded queue so the sink never blocks the pipeline
-        self._queues = [queue.Queue()]
 
     def results(self) -> list[Buffer]:
         return self.drain(0)

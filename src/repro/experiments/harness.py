@@ -365,7 +365,10 @@ def measure_specs(
             "a repro.datacutter.obs.Trace (or leave options.trace unset)"
         )
     if warmup:
-        run_pipeline(specs, options=opts.replace(trace=None))
+        # faults stay out of the warmup: it exists to absorb one-time
+        # costs, not to crash (or pay recovery backoff) before the
+        # measured run injects its own faults
+        run_pipeline(specs, options=opts.replace(trace=None, faults=None))
     run, trace = measure_pipeline(specs, options=opts)
 
     correct = True

@@ -144,3 +144,39 @@ def test_trace_rejects_bad_engine():
     with pytest.raises(SystemExit) as exc_info:
         main(["trace", "knn", "--engine", "bogus"])
     assert exc_info.value.code == 2
+
+
+def test_chaos_heals_and_exports_restart_span(tmp_path, capsys):
+    out_path = tmp_path / "chaos.json"
+    code = main(
+        [
+            "chaos",
+            "knn",
+            "--engine",
+            "threaded",
+            "--packets",
+            "4",
+            "--kind",
+            "crash",
+            "-o",
+            str(out_path),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "outputs identical to fault-free run: YES" in out
+    assert "restarts: 1" in out
+    doc = json.loads(out_path.read_text())
+    assert validate_chrome_trace(doc) == []
+    restart_events = [
+        ev
+        for ev in doc["traceEvents"]
+        if ev["ph"] == "X" and ev["name"] == "restart"
+    ]
+    assert restart_events
+
+
+def test_chaos_rejects_unknown_filter(capsys):
+    code = main(["chaos", "knn", "--filter", "nope"])
+    assert code == 2
+    assert "no filter named 'nope'" in capsys.readouterr().out
