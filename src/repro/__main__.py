@@ -48,6 +48,7 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         env=cluster_config(args.width),
         profile=WorkloadProfile(profile_params),
         objective=args.objective,
+        backend=args.backend,
     )
     result = compile_source(source, None, options)
     print(result.report())
@@ -81,13 +82,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
     app = getattr(apps_mod, factory_name)()
     workload = app.make_workload(num_packets=args.packets, **workload_defaults)
     env = cluster_config(args.width)
-    specs, _result = _specs_for_version(app, workload, args.version, env)
+    specs, _result = _specs_for_version(
+        app, workload, args.version, env, backend=args.backend
+    )
     t0 = time.perf_counter()
     run = run_pipeline(specs, options=EngineOptions(engine=args.engine))
     elapsed = time.perf_counter() - t0
     finals = run.payloads[-1]
     ok = workload.check(finals, workload.oracle())
     print(f"{app.name} / {args.version} on the {args.engine} engine")
+    if _result is not None:
+        print(f"  codegen backend: {_result.pipeline.backend}")
     print(f"  packets: {workload.num_packets}  width: {args.width}")
     print(f"  wall time: {elapsed:.3f}s")
     for stream in sorted(run.stream_bytes):
@@ -123,7 +128,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     app = getattr(apps_mod, factory_name)()
     workload = app.make_workload(num_packets=args.packets, **workload_defaults)
     env = cluster_config(args.width)
-    specs, result = _specs_for_version(app, workload, args.version, env)
+    specs, result = _specs_for_version(
+        app, workload, args.version, env, backend=args.backend
+    )
     measured = measure_specs(
         specs,
         result,
@@ -205,7 +212,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     app = getattr(apps_mod, factory_name)()
     workload = app.make_workload(num_packets=args.packets, **workload_defaults)
     env = cluster_config(args.width)
-    specs, _result = _specs_for_version(app, workload, args.version, env)
+    specs, _result = _specs_for_version(
+        app, workload, args.version, env, backend=args.backend
+    )
 
     names = [s.name for s in specs]
     target = args.filter or names[len(names) // 2]
@@ -270,7 +279,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         return 2
     ok = True
     for name in names:
-        figure = ALL_FIGURES[name](engine=args.engine)
+        figure = ALL_FIGURES[name](engine=args.engine, backend=args.backend)
         print(figure.report())
         print()
         ok = ok and figure.ok
@@ -321,6 +330,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="workload profile parameter (repeatable)",
     )
     p_compile.add_argument(
+        "--backend",
+        choices=["auto", "scalar", "vector"],
+        default="auto",
+        help="codegen backend for foreach bodies (vector = columnar NumPy; auto = $REPRO_BACKEND or scalar)",
+    )
+    p_compile.add_argument(
         "--emit", action="store_true", help="print generated filter sources"
     )
     p_compile.set_defaults(fn=_cmd_compile)
@@ -341,6 +356,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_run.add_argument(
         "--width", type=int, default=1, help="pipeline width (w-w-1 config)"
+    )
+    p_run.add_argument(
+        "--backend",
+        choices=["auto", "scalar", "vector"],
+        default="auto",
+        help="codegen backend for foreach bodies (vector = columnar NumPy; auto = $REPRO_BACKEND or scalar)",
     )
     p_run.add_argument(
         "--packets", type=int, default=8, help="number of input packets"
@@ -376,6 +397,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="output path (default trace.json)",
     )
     p_trace.add_argument(
+        "--backend",
+        choices=["auto", "scalar", "vector"],
+        default="auto",
+        help="codegen backend for foreach bodies (vector = columnar NumPy; auto = $REPRO_BACKEND or scalar)",
+    )
+    p_trace.add_argument(
         "--format",
         choices=["chrome", "jsonl"],
         default="chrome",
@@ -406,6 +433,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_chaos.add_argument(
         "--packets", type=int, default=8, help="number of input packets"
+    )
+    p_chaos.add_argument(
+        "--backend",
+        choices=["auto", "scalar", "vector"],
+        default="auto",
+        help="codegen backend for foreach bodies (vector = columnar NumPy; auto = $REPRO_BACKEND or scalar)",
     )
     p_chaos.add_argument(
         "--filter",
@@ -443,6 +476,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_fig = sub.add_parser("figures", help="reproduce evaluation figures")
     p_fig.add_argument("names", nargs="*", help="fig5 .. fig12 (default all)")
+    p_fig.add_argument(
+        "--backend",
+        choices=["auto", "scalar", "vector"],
+        default="auto",
+        help="codegen backend for foreach bodies (vector = columnar NumPy; auto = $REPRO_BACKEND or scalar)",
+    )
     p_fig.add_argument(
         "--engine",
         choices=["threaded", "process"],

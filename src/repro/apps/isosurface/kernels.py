@@ -14,6 +14,13 @@ implement the per-cube geometry:
 
 Both carry analysis summaries (reads/writes/cost) when registered as
 intrinsics — see :func:`make_iso_registry` in the app modules.
+
+Each kernel also has a ``batch_*`` columnar form for the vector codegen
+backend (:mod:`repro.codegen.vectorize`): one call per packet over whole
+columns instead of one call per record.  The batch forms are written to be
+**bit-identical** to folding the scalar kernel over the rows — they perform
+the same elementwise IEEE operations in the same per-record order, only
+gathered across records — which the differential tests rely on.
 """
 
 from __future__ import annotations
@@ -169,6 +176,158 @@ def rasterize_triangles(
 
 
 # ---------------------------------------------------------------------------
+# Columnar (batch) kernel forms for the vector backend
+# ---------------------------------------------------------------------------
+
+
+def _as_ragged_pair(col) -> tuple[np.ndarray, np.ndarray]:
+    """Accept a (values, offsets) pair or a fixed (n, L) array."""
+    if isinstance(col, tuple):
+        values, offsets = col
+        return (
+            np.asarray(values, dtype=np.float64).reshape(-1),
+            np.asarray(offsets, dtype=np.int64),
+        )
+    arr = np.asarray(col, dtype=np.float64)
+    n, length = arr.shape
+    return arr.reshape(-1), np.arange(n + 1, dtype=np.int64) * length
+
+
+def batch_extract_triangles(vals, x, y, z, isoval):
+    """Columnar :func:`extract_triangles`: all cubes of a packet at once.
+
+    ``vals`` is the (n, 8) corner-value column (or ragged pair with uniform
+    rows); ``x``/``y``/``z`` are 1-D columns; ``isoval`` broadcasts.
+    Returns the triangle lists as one ragged pair."""
+    if isinstance(vals, tuple):
+        raw, off = vals
+        n = len(off) - 1
+        vals2 = np.asarray(raw, dtype=np.float64).reshape(n, -1)
+    else:
+        vals2 = np.asarray(vals, dtype=np.float64)
+        n = len(vals2)
+    if n == 0:
+        return np.zeros(0, dtype=np.float64), np.zeros(1, dtype=np.int64)
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    z = np.asarray(z, dtype=np.float64)
+
+    a = vals2[:, _EDGES[:, 0]]
+    b = vals2[:, _EDGES[:, 1]]
+    crossing = ((a - isoval) * (b - isoval)) < 0.0  # (n, 12)
+    n_cross = crossing.sum(axis=1)
+    # np.nonzero is row-major: crossing points appear per cube, in edge
+    # order — exactly the order the scalar kernel's boolean selection uses
+    cube_idx, edge_idx = np.nonzero(crossing)
+    ac = a[cube_idx, edge_idx]
+    bc = b[cube_idx, edge_idx]
+    t = (isoval - ac) / (bc - ac)
+    p0 = _CORNERS[_EDGES[edge_idx, 0]]
+    p1 = _CORNERS[_EDGES[edge_idx, 1]]
+    pts = p0 + t[:, None] * (p1 - p0)
+    pts = pts + np.stack([x, y, z], axis=1)[cube_idx]
+
+    n_tris = np.where(n_cross >= 3, n_cross - 2, 0)
+    out_offsets = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(9 * n_tris, out=out_offsets[1:])
+    total = int(n_tris.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.float64), out_offsets
+
+    pts_start = np.zeros(n, dtype=np.int64)
+    pts_start[1:] = np.cumsum(n_cross)[:-1]
+    tri_start = np.zeros(n, dtype=np.int64)
+    tri_start[1:] = np.cumsum(n_tris)[:-1]
+    tri_cube = np.repeat(np.arange(n, dtype=np.int64), n_tris)
+    # fan triangulation: triangle k of a cube is (pts[0], pts[k+1], pts[k+2])
+    k = np.arange(total, dtype=np.int64) - tri_start[tri_cube]
+    base = pts_start[tri_cube]
+    out = np.empty((total, 9), dtype=np.float64)
+    out[:, 0:3] = pts[base]
+    out[:, 3:6] = pts[base + k + 1]
+    out[:, 6:9] = pts[base + k + 2]
+    return out.ravel(), out_offsets
+
+
+def batch_project_triangles(tris, angle, grid_extent, width, height):
+    """Columnar :func:`project_triangles`.
+
+    Projection is elementwise per triangle, so one call over the
+    concatenated triangle values is bit-identical to per-cube calls; only
+    the offsets need rescaling (9 floats per input triangle -> 10 per
+    screen record)."""
+    values, offsets = _as_ragged_pair(tris)
+    out = project_triangles(values, angle, grid_extent, width, height)
+    if out.size == 0:
+        out = np.zeros(0, dtype=np.float64)
+    return out, offsets // 9 * 10
+
+
+def batch_rasterize_triangles(stris, width, height):
+    """Columnar :func:`rasterize_triangles`: every triangle of the packet
+    scan-converted in one flat computation.
+
+    Fragment order is preserved: triangles stay in record order and pixels
+    within a triangle keep the scalar kernel's meshgrid-ravel order
+    (y-rows outer, x fastest)."""
+    values, offsets = _as_ragged_pair(stris)
+    recs = values.reshape(-1, 10)
+    n = len(offsets) - 1
+    recs_per_cube = (offsets[1:] - offsets[:-1]) // 10
+    m = len(recs)
+    empty = np.zeros(0, dtype=np.float64)
+    if m == 0:
+        return empty, np.zeros(n + 1, dtype=np.int64)
+    xs, ys, zs, color = recs[:, 0:3], recs[:, 3:6], recs[:, 6:9], recs[:, 9]
+    x_min = np.maximum(np.floor(xs.min(axis=1)).astype(np.int64), 0)
+    x_max = np.minimum(np.ceil(xs.max(axis=1)).astype(np.int64), width - 1)
+    y_min = np.maximum(np.floor(ys.min(axis=1)).astype(np.int64), 0)
+    y_max = np.minimum(np.ceil(ys.max(axis=1)).astype(np.int64), height - 1)
+    d = (ys[:, 1] - ys[:, 2]) * (xs[:, 0] - xs[:, 2]) + (
+        xs[:, 2] - xs[:, 1]
+    ) * (ys[:, 0] - ys[:, 2])
+    valid = (x_min <= x_max) & (y_min <= y_max) & (np.abs(d) >= 1e-12)
+    nx = np.where(valid, x_max - x_min + 1, 0)
+    npix = nx * np.where(valid, y_max - y_min + 1, 0)
+    total = int(npix.sum())
+    frag_per_rec = np.zeros(m, dtype=np.int64)
+    if total:
+        starts = np.zeros(m, dtype=np.int64)
+        starts[1:] = np.cumsum(npix)[:-1]
+        rid = np.repeat(np.arange(m, dtype=np.int64), npix)
+        within = np.arange(total, dtype=np.int64) - starts[rid]
+        nxr = nx[rid]
+        gx = x_min[rid] + within % nxr
+        gy = y_min[rid] + within // nxr
+        dr = d[rid]
+        l0 = (
+            (ys[rid, 1] - ys[rid, 2]) * (gx - xs[rid, 2])
+            + (xs[rid, 2] - xs[rid, 1]) * (gy - ys[rid, 2])
+        ) / dr
+        l1 = (
+            (ys[rid, 2] - ys[rid, 0]) * (gx - xs[rid, 2])
+            + (xs[rid, 0] - xs[rid, 2]) * (gy - ys[rid, 2])
+        ) / dr
+        l2 = 1.0 - l0 - l1
+        inside = (l0 >= -1e-9) & (l1 >= -1e-9) & (l2 >= -1e-9)
+        depth = l0 * zs[rid, 0] + l1 * zs[rid, 1] + l2 * zs[rid, 2]
+        out = np.empty((int(inside.sum()), 4))
+        out[:, 0] = gx[inside]
+        out[:, 1] = gy[inside]
+        out[:, 2] = depth[inside]
+        out[:, 3] = color[rid][inside]
+        np.add.at(frag_per_rec, rid[inside], 1)
+        frags = out.ravel()
+    else:
+        frags = empty
+    cum_rec = np.zeros(m + 1, dtype=np.int64)
+    np.cumsum(4 * frag_per_rec, out=cum_rec[1:])
+    rec_bounds = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(recs_per_cube, out=rec_bounds[1:])
+    return frags, cum_rec[rec_bounds]
+
+
+# ---------------------------------------------------------------------------
 # Reduction classes: dense z-buffer and sparse active pixels (§6.1)
 # ---------------------------------------------------------------------------
 
@@ -208,6 +367,15 @@ def make_zbuffer_class(width: int, height: int) -> type:
             )
             self.depth[idx[better]] = depth[better]
             self.color[idx[better]] = color[better]
+
+        def batch_accum(self, frags) -> None:
+            """Columnar accum: all fragment lists of a packet at once.
+
+            The surviving (depth, color) per pixel is the lexicographic
+            minimum over buffer and fragments, so one accumulation over the
+            concatenated fragments equals folding accum row by row."""
+            values = frags[0] if isinstance(frags, tuple) else frags
+            self.accum(np.asarray(values, dtype=np.float64).reshape(-1))
 
         def merge(self, other: "ZBuffer") -> None:
             closer = (other.depth < self.depth) | (
@@ -283,6 +451,12 @@ def make_active_pixels_class(width: int, height: int) -> type:
             self.idx = idx[first]
             self.depth = self.depth[order][first]
             self.color = self.color[order][first]
+
+        def batch_accum(self, frags) -> None:
+            """Columnar accum; canonical on pack()/_compact(), so the
+            packed state matches the scalar fold byte for byte."""
+            values = frags[0] if isinstance(frags, tuple) else frags
+            self.accum(np.asarray(values, dtype=np.float64).reshape(-1))
 
         def merge(self, other: "ActivePixels") -> None:
             self.idx = np.concatenate([self.idx, other.idx])

@@ -95,6 +95,7 @@ def make_iso_registry(red_class: str) -> IntrinsicRegistry:
                 (_DA, _D, _D, _D, _D),
                 _DA,
                 fn=kernels.extract_triangles,
+                batch_fn=kernels.batch_extract_triangles,
                 reads=("vals", "x", "y", "z", "isoval"),
                 writes=("return",),
                 cost=lambda p: OpCount(flops=90, iops=40, branches=14),
@@ -105,6 +106,7 @@ def make_iso_registry(red_class: str) -> IntrinsicRegistry:
                 (_DA, _D, _D, INT, INT),
                 _DA,
                 fn=kernels.project_triangles,
+                batch_fn=kernels.batch_project_triangles,
                 reads=("tris", "angle", "extent", "width", "height"),
                 writes=("return",),
                 cost=lambda p: OpCount(
@@ -119,6 +121,7 @@ def make_iso_registry(red_class: str) -> IntrinsicRegistry:
                 (_DA, INT, INT),
                 _DA,
                 fn=kernels.rasterize_triangles,
+                batch_fn=kernels.batch_rasterize_triangles,
                 reads=("stris", "width", "height"),
                 writes=("return",),
                 # barycentric test + interpolation per candidate pixel

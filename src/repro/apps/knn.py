@@ -107,6 +107,22 @@ def make_knn_class(k: int) -> type:
                 self.pz[w] = z
                 self._worst = -1
 
+        def batch_insert(self, d, x, y, z) -> None:
+            """Columnar form of :meth:`insert` for the vector backend: fold a
+            whole packet of candidates at once.  Produces the same candidate
+            *set* as the per-record fold (the k lexicographically smallest
+            (d, x, y, z) tuples seen); the stored order is canonical rather
+            than arrival order, which downstream ``merge``/``rows`` already
+            normalize."""
+            cols = [np.asarray(c, dtype=np.float64) for c in (d, x, y, z)]
+            n = max((c.shape[0] for c in cols if c.ndim), default=1)
+            cols = [np.broadcast_to(c, (n,)) for c in cols]
+            self.dist = np.concatenate([self.dist, cols[0]])
+            self.px = np.concatenate([self.px, cols[1]])
+            self.py = np.concatenate([self.py, cols[2]])
+            self.pz = np.concatenate([self.pz, cols[3]])
+            self._select_k()
+
         def merge(self, other: "KNN") -> None:
             self.dist = np.concatenate([self.dist, other.dist])
             self.px = np.concatenate([self.px, other.px])

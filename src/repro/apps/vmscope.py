@@ -27,6 +27,7 @@ from ..analysis.workload import WorkloadProfile
 from ..codegen.generated_registry import register_generated
 from ..datacutter.buffers import Buffer
 from ..datacutter.filters import Filter, FilterContext, FilterSpec, SourceFilter
+from ..codegen.runtime_support import col_count, col_row, rowwise_batch
 from ..lang.intrinsics import Intrinsic, IntrinsicRegistry, OpCount
 from ..lang.types import DOUBLE, INT, VOID, ArrayType
 from .common import AppBundle, Workload
@@ -146,6 +147,13 @@ def make_vimage_class(qx0: int, qy0: int, qx1: int, qy1: int, subsamp: int) -> t
             img = self.data.reshape(out_h, out_w, 3)
             img[oy : oy + bh, ox : ox + bw, :] = sub
 
+        def batch_paste(self, blocks) -> None:
+            """Columnar form of :meth:`paste`: a whole packet's blocks as a
+            ragged pair.  Tiles are disjoint, so pasting row-by-row here is
+            exactly the scalar fold."""
+            for r in range(col_count(blocks)):
+                self.paste(col_row(blocks, r))
+
         def merge(self, other: "VImage") -> None:
             filled = ~np.isnan(other.data)
             self.data[filled] = other.data[filled]
@@ -197,6 +205,9 @@ def make_vmscope_registry() -> IntrinsicRegistry:
                     "subsamp",
                 ),
                 writes=("return",),
+                # per-tile work is already NumPy-vectorized internally, so
+                # the batch form is the generic rowwise wrapper
+                batch_fn=rowwise_batch(subsample_tile_masked),
                 # conditional-mask kernel touches every tile pixel
                 cost=lambda p: OpCount(
                     flops=2.0 * p.get("tile.pixels", 4096.0),

@@ -27,6 +27,7 @@ from typing import Any
 import numpy as np
 
 from .layout import ColumnSpec, PacketLayout
+from .runtime_support import ragged_from_rows
 
 _MAGIC = b"RB02"
 _HDR = struct.Struct("<4sqq")  # magic, packet index, record count
@@ -66,19 +67,91 @@ class RecordBatch:
         return total
 
 
+def _as_ragged_chunk(
+    value: Any, dtype: np.dtype
+) -> tuple[np.ndarray, np.ndarray]:
+    """Normalize a columnar chunk to a ``(values, offsets)`` pair."""
+    if isinstance(value, tuple):
+        values, offsets = value
+        return (
+            np.asarray(values, dtype=dtype).reshape(-1),
+            np.asarray(offsets, dtype=np.int64),
+        )
+    arr = np.asarray(value, dtype=dtype)
+    if arr.ndim == 2:
+        n, length = arr.shape
+        return arr.reshape(-1), np.arange(n + 1, dtype=np.int64) * length
+    if arr.ndim == 1:
+        return arr, np.arange(len(arr) + 1, dtype=np.int64)
+    raise TypeError(f"cannot treat array of shape {arr.shape} as ragged chunk")
+
+
+def _as_fixed_chunk(value: Any, dtype: np.dtype, length: int) -> np.ndarray:
+    """Normalize a columnar chunk to a fixed ``(n, length)`` array,
+    zero-padding short rows exactly like the row-wise builder."""
+    if isinstance(value, tuple):
+        values, offsets = value
+        values = np.asarray(values, dtype=dtype).reshape(-1)
+        offsets = np.asarray(offsets, dtype=np.int64)
+        n = len(offsets) - 1
+        lens = offsets[1:] - offsets[:-1]
+        arr = np.zeros((n, length), dtype=dtype)
+        if len(values):
+            row_idx = np.repeat(np.arange(n, dtype=np.int64), lens)
+            col_idx = np.arange(len(values), dtype=np.int64) - np.repeat(
+                offsets[:-1], lens
+            )
+            arr[row_idx, col_idx] = values
+        return arr
+    arr = np.asarray(value, dtype=dtype)
+    if arr.ndim == 2 and arr.shape[1] == length:
+        return arr
+    if arr.ndim == 2 and arr.shape[1] < length:
+        out = np.zeros((arr.shape[0], length), dtype=dtype)
+        out[:, : arr.shape[1]] = arr
+        return out
+    raise TypeError(
+        f"cannot treat array of shape {arr.shape} as fixed({length}) chunk"
+    )
+
+
+def _chunk_count(value: Any) -> int:
+    if isinstance(value, tuple):
+        return len(value[1]) - 1
+    arr = np.asarray(value)
+    if arr.ndim == 0:
+        raise TypeError("columnar chunk must have a record axis")
+    return arr.shape[0]
+
+
 class BatchBuilder:
-    """Row-wise builder used by generated filter code."""
+    """Output-batch builder used by generated filter code.
+
+    Scalar-backend code calls :meth:`append` once per record; vector-backend
+    code calls :meth:`extend` once per columnar chunk.  The two cannot be
+    mixed on one builder."""
 
     def __init__(self, layout: PacketLayout, packet: int = -1) -> None:
         self.layout = layout
         self.packet = packet
         self._rows: dict[str, list] = {c.source: [] for c in layout.columns}
+        self._chunks: dict[str, list] = {c.source: [] for c in layout.columns}
+        self._mode: str | None = None
         self._count = 0
         self.packet_fields: dict[str, Any] = {}
         self.reductions: dict[str, dict[str, np.ndarray]] = {}
 
+    def _set_mode(self, mode: str) -> None:
+        if self._mode is None:
+            self._mode = mode
+        elif self._mode != mode:
+            raise RuntimeError(
+                "cannot mix append() and extend() on one BatchBuilder"
+            )
+
     def append(self, **values: Any) -> None:
         """One output record; keyword names are *mangled* column names."""
+        self._set_mode("rows")
         by_name = {c.name: c for c in self.layout.columns}
         for name, value in values.items():
             col = by_name[name]
@@ -88,20 +161,57 @@ class BatchBuilder:
     def append_row(self, row: dict[str, Any]) -> None:
         self.append(**row)
 
+    def extend(self, **values: Any) -> None:
+        """A columnar chunk of output records.
+
+        Keyword names are mangled column names (as for :meth:`append`); each
+        value covers the whole chunk: a 1-D array for scalar columns, a
+        ``(n, L)`` array or ragged pair for array columns.  All columns of
+        the layout must be supplied with a consistent record count."""
+        self._set_mode("chunks")
+        by_name = {c.name: c for c in self.layout.columns}
+        n = None
+        for name, value in values.items():
+            col = by_name[name]
+            vn = _chunk_count(value)
+            if n is None:
+                n = vn
+            elif vn != n:
+                raise ValueError(
+                    f"column {name}: chunk covers {vn} records, expected {n}"
+                )
+            if col.ragged:
+                self._chunks[col.source].append(_as_ragged_chunk(value, col.dtype))
+            elif col.length > 1:
+                self._chunks[col.source].append(
+                    _as_fixed_chunk(value, col.dtype, col.length)
+                )
+            else:
+                arr = np.asarray(value, dtype=col.dtype)
+                if arr.ndim != 1:
+                    raise TypeError(
+                        f"column {name}: scalar column chunk must be 1-D, "
+                        f"got shape {arr.shape}"
+                    )
+                self._chunks[col.source].append(arr)
+        if n is not None:
+            self._count += n
+
     def build(self) -> RecordBatch:
         batch = RecordBatch(count=self._count, packet=self.packet)
+        if self._mode == "chunks":
+            self._build_from_chunks(batch)
+        else:
+            self._build_from_rows(batch)
+        batch.packet_fields = dict(self.packet_fields)
+        batch.reductions = dict(self.reductions)
+        return batch
+
+    def _build_from_rows(self, batch: RecordBatch) -> None:
         for col in self.layout.columns:
             rows = self._rows[col.source]
             if col.ragged:
-                offsets = np.zeros(self._count + 1, dtype=np.int64)
-                for r, v in enumerate(rows):
-                    offsets[r + 1] = offsets[r] + len(v)
-                values = (
-                    np.concatenate([np.asarray(v, dtype=col.dtype) for v in rows])
-                    if rows and offsets[-1] > 0
-                    else np.zeros(0, dtype=col.dtype)
-                )
-                batch.ragged[col.source] = (values, offsets)
+                batch.ragged[col.source] = ragged_from_rows(rows, col.dtype)
             elif col.length > 1:
                 arr = np.zeros((self._count, col.length), dtype=col.dtype)
                 for r, v in enumerate(rows):
@@ -109,9 +219,38 @@ class BatchBuilder:
                 batch.columns[col.source] = arr
             else:
                 batch.columns[col.source] = np.asarray(rows, dtype=col.dtype)
-        batch.packet_fields = dict(self.packet_fields)
-        batch.reductions = dict(self.reductions)
-        return batch
+
+    def _build_from_chunks(self, batch: RecordBatch) -> None:
+        for col in self.layout.columns:
+            chunks = self._chunks[col.source]
+            if col.ragged:
+                if not chunks:
+                    batch.ragged[col.source] = (
+                        np.zeros(0, dtype=col.dtype),
+                        np.zeros(self._count + 1, dtype=np.int64),
+                    )
+                    continue
+                values = np.concatenate([c[0] for c in chunks])
+                offsets = np.zeros(self._count + 1, dtype=np.int64)
+                pos, base = 1, np.int64(0)
+                for _, off in chunks:
+                    k = len(off) - 1
+                    offsets[pos : pos + k] = off[1:] + base
+                    base += off[-1]
+                    pos += k
+                batch.ragged[col.source] = (values, offsets)
+            elif col.length > 1:
+                batch.columns[col.source] = (
+                    np.concatenate(chunks, axis=0)
+                    if chunks
+                    else np.zeros((0, col.length), dtype=col.dtype)
+                )
+            else:
+                batch.columns[col.source] = (
+                    np.concatenate(chunks)
+                    if chunks
+                    else np.zeros(0, dtype=col.dtype)
+                )
 
 
 # ---------------------------------------------------------------------------

@@ -44,7 +44,8 @@ from .buffers import BatchBuilder, pack, unpack
 from .generated_registry import register_generated
 from .layout import LayoutBuilder, PacketLayout, mangle
 from .pygen import CodegenError, NameEnv, PyGen, generate_runtime_class
-from .runtime_support import FINAL_PACKET, RawPacket
+from .runtime_support import FINAL_PACKET, RawPacket, col_take, vec_mask
+from .vectorize import analyze_group, emit_vector_group
 
 
 @dataclass(slots=True)
@@ -54,6 +55,10 @@ class RuntimeConfig:
     intrinsics: dict[str, Callable] = field(default_factory=dict)
     runtime_classes: dict[str, type] = field(default_factory=dict)
     size_hints: dict[str, object] = field(default_factory=dict)
+    #: columnar intrinsic implementations (vector backend dispatch table)
+    batch_intrinsics: dict[str, Callable] = field(default_factory=dict)
+    #: concrete backend for element loops: "scalar" or "vector"
+    backend: str = "scalar"
 
 
 @dataclass(slots=True)
@@ -65,6 +70,9 @@ class GeneratedFilter:
     atoms: list[int]
     in_layout: PacketLayout | None
     out_layout: PacketLayout | None
+    #: element loops emitted columnar / as scalar fallback in this filter
+    vector_loops: int = 0
+    scalar_loops: int = 0
 
 
 @dataclass(slots=True)
@@ -75,6 +83,7 @@ class CompiledPipeline:
     plan: DecompositionPlan
     filters: list[GeneratedFilter]
     runtime_classes: dict[str, type]
+    backend: str = "scalar"
 
     def specs(
         self,
@@ -116,6 +125,7 @@ class FilterGenerator:
         self.plan = plan
         self.config = config or RuntimeConfig()
         self.checked = chain.checked
+        self._loop_counts = [0, 0]
         self.layouts = LayoutBuilder(chain, analysis, self.config.size_hints)
         self._rt_classes = self._build_runtime_classes()
         self._reduction_decls = self._collect_reduction_decls()
@@ -139,6 +149,7 @@ class FilterGenerator:
             plan=self.plan,
             filters=filters,
             runtime_classes=self._rt_classes,
+            backend=self.config.backend,
         )
 
     # ------------------------------------------------------------- tables
@@ -342,6 +353,7 @@ class FilterGenerator:
         env = NameEnv(self.checked)
         for sym in self.chain.elem_vars:
             env.elem_vars.add(id(sym))
+        self._loop_counts = [0, 0]  # [vector, scalar] element loops
         gen = PyGen(env)
         base = "_SourceFilter" if is_source else "_Filter"
         gen.emit(f"class {name}({base}):")
@@ -370,6 +382,9 @@ class FilterGenerator:
             "_IN_LAYOUT": in_layout,
             "_OUT_LAYOUT": out_layout,
             "_FINAL": FINAL_PACKET,
+            "_intrb": self.config.batch_intrinsics,
+            "_col_take": col_take,
+            "_vec_mask": vec_mask,
         }
         try:
             exec(compile(source, f"<generated {name}>", "exec"), namespace)
@@ -385,6 +400,8 @@ class FilterGenerator:
             atoms=atoms,
             in_layout=in_layout,
             out_layout=out_layout,
+            vector_loops=self._loop_counts[0],
+            scalar_loops=self._loop_counts[1],
         )
 
     def _gen_init(self, gen: PyGen, atoms: list[int]) -> None:
@@ -656,6 +673,19 @@ class FilterGenerator:
         source_mode: bool,
         in_layout: PacketLayout | None,
     ) -> None:
+        if self.config.backend == "vector":
+            decision = analyze_group(
+                self.chain, group, self._red_classes, self.config.batch_intrinsics
+            )
+            if decision.ok:
+                self._loop_counts[0] += 1
+                emit_vector_group(
+                    self, gen, env, group, needed, out_layout,
+                    source_mode, in_layout,
+                )
+                return
+            gen.emit(f"# scalar fallback: {decision.reason}")
+        self._loop_counts[1] += 1
         if group:
             elem = self.chain.atom(group[0]).elem_var
             gen.emit(f"# fused element loop: atoms {group}")

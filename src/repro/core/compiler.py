@@ -24,6 +24,7 @@ from ..analysis.opcount import OpCounter
 from ..analysis.reqcomm import CommAnalysis, VolumeModel, analyze_communication
 from ..analysis.workload import WorkloadProfile
 from ..codegen.filtergen import CompiledPipeline, FilterGenerator, RuntimeConfig
+from ..codegen.vectorize import resolve_backend
 from ..cost.environment import PipelineEnv
 from ..cost.model import DEFAULT_WEIGHTS, OpWeights
 from ..decompose.brute import brute_force
@@ -60,6 +61,10 @@ class CompileOptions:
     #: When set it wins over the bare ``engine`` name above; kept untyped
     #: to avoid importing the runtime at compile time
     engine_options: object | None = None
+    #: codegen backend for element loops: "scalar" (the paper's per-record
+    #: shape), "vector" (columnar NumPy, repro.codegen.vectorize), or
+    #: "auto" (consult the REPRO_BACKEND environment variable)
+    backend: str = "auto"
 
 
 @dataclass(slots=True)
@@ -244,13 +249,18 @@ def compile_source(
     else:
         cost = problem.evaluate(plan)
     impls = dict(intrinsic_impls or {})
+    batch_impls: dict[str, Callable] = {}
     if registry is not None:
         for intr in registry:
             impls.setdefault(intr.name, intr.fn)
+            if intr.batch_fn is not None:
+                batch_impls.setdefault(intr.name, intr.batch_fn)
     config = RuntimeConfig(
         intrinsics=impls,
         runtime_classes=dict(options.runtime_classes),
         size_hints=dict(options.size_hints),
+        batch_intrinsics=batch_impls,
+        backend=resolve_backend(options.backend),
     )
     pipeline = FilterGenerator(chain, comm, plan, config).generate()
     return CompilationResult(

@@ -44,7 +44,7 @@ from ..runtime import PipelineError, RunResult
 from ..streams import RoundRobin
 from .channels import ProcessEdge
 from .supervisor import Supervisor, WorkerHandle
-from .transport import DEFAULT_SHM_MIN_BYTES
+from .transport import DEFAULT_SHM_MIN_BYTES, pool_teardown
 from .worker import worker_main
 
 
@@ -193,7 +193,17 @@ class ProcessPipeline:
             # supervise() tears down on PipelineError; this guard covers
             # KeyboardInterrupt and friends arriving in the parent
             supervisor._teardown()
+            pool_teardown()
             raise
+
+        # the parent decodes collector buffers, so it pools segments too:
+        # fold its counters in with the workers' and release everything
+        parent_stats = pool_teardown()
+        shm_pool = dict(supervisor.shm_pool)
+        for key, value in parent_stats.items():
+            shm_pool[key] = shm_pool.get(key, 0) + value
+        if self.trace is not None and any(shm_pool.values()):
+            self.trace.note(shm_pool=shm_pool)
 
         result = RunResult(outputs=outputs)
         for edge in all_edges:

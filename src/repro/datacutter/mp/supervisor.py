@@ -110,6 +110,8 @@ class Supervisor:
         self.post_eos_timeout = post_eos_timeout
         self.errors: list[str] = []
         self.stats: dict[str, StreamStats] = {}
+        #: shared-memory pool counters summed over all worker processes
+        self.shm_pool: dict[str, int] = {}
         self.restarts: int = 0
         self._done: set[int] = set()
         self._by_id = {w.worker_id: w for w in workers}
@@ -227,6 +229,10 @@ class Supervisor:
                 agg.bytes += nbytes
                 for packet, size in by_packet.items():
                     agg.by_packet[packet] = agg.by_packet.get(packet, 0) + size
+            elif kind == "shmpool":
+                _, _wid, pool_stats = msg
+                for key, value in pool_stats.items():
+                    self.shm_pool[key] = self.shm_pool.get(key, 0) + value
             elif kind == "trace":
                 # worker-side event buffer: replay into the caller's
                 # collector so process traces merge like threaded ones

@@ -19,10 +19,22 @@ replaces eligible leaves — contiguous ``ndarray`` without object dtype,
 inverts the walk.  Teardown after a failed run uses
 :func:`collect_shm_refs` / :func:`unlink_ref` to reclaim segments whose
 consumer died before draining them.
+
+Segments are recycled through a per-process :class:`ShmPool`: creating a
+segment is a syscall pair (``shm_open`` + ``ftruncate`` + ``mmap``) paid
+per packet per link, so instead of unlinking after the copy-out the
+consumer parks the attached segment on a bounded free list keyed by
+power-of-two size class, and the next ``encode_payload`` in that process
+pops it instead of creating a fresh one.  Segments migrate with the data:
+a middle-stage worker consumes from upstream and reuses the very segments
+it just drained for its own output.  The pool is torn down (close +
+unlink) when a worker exits or the engine finishes; hit/miss counts ride
+the control queue and land in the run trace under ``shm_pool``.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from multiprocessing import resource_tracker, shared_memory
 from typing import Any
@@ -52,9 +64,133 @@ class ShmRef:
     shape: tuple = field(default_factory=tuple)
 
 
+class ShmPool:
+    """Bounded per-process free list of shared-memory segments.
+
+    Keyed by power-of-two size class (min :data:`MIN_CLASS` bytes): an
+    ``acquire`` pops any pooled segment of the right class (hit) or
+    creates one sized to the class (miss); a ``release`` parks a
+    still-attached segment for reuse, or refuses when the class list or
+    the total byte budget is full (the caller then unlinks as before).
+    Pooled segments stay open and resource-tracker-registered, so one
+    ownership claim survives exactly as for an in-flight buffer; a
+    :meth:`teardown` closes and unlinks everything.
+
+    Fork safety: workers are forked mid-run, so a child may inherit its
+    parent's pool dict.  Every operation checks the pid and drops
+    inherited entries (closing only this process's mappings — the parent
+    still owns the segments and will unlink them at its own teardown).
+    """
+
+    MIN_CLASS = 4096
+
+    def __init__(
+        self,
+        max_per_class: int = 8,
+        max_total_bytes: int = 256 * 1024 * 1024,
+    ) -> None:
+        self._classes: dict[int, list[shared_memory.SharedMemory]] = {}
+        self._total = 0
+        self._pid = os.getpid()
+        self.max_per_class = max_per_class
+        self.max_total_bytes = max_total_bytes
+        self.hits = 0
+        self.misses = 0
+        self.released = 0
+        self.evicted = 0
+
+    @staticmethod
+    def size_class(nbytes: int) -> int:
+        cls = ShmPool.MIN_CLASS
+        while cls < nbytes:
+            cls <<= 1
+        return cls
+
+    def _fork_guard(self) -> None:
+        if os.getpid() == self._pid:
+            return
+        # forked child: the parent owns these segments; unmap our
+        # inherited views, never unlink, and start with a clean pool
+        for segs in self._classes.values():
+            for seg in segs:
+                try:
+                    seg.close()
+                except Exception:  # pragma: no cover - stale mapping
+                    pass
+        self._classes = {}
+        self._total = 0
+        self._pid = os.getpid()
+        self.hits = self.misses = self.released = self.evicted = 0
+
+    def acquire(self, nbytes: int) -> shared_memory.SharedMemory:
+        self._fork_guard()
+        cls = self.size_class(max(nbytes, 1))
+        segs = self._classes.get(cls)
+        if segs:
+            self.hits += 1
+            self._total -= cls
+            return segs.pop()
+        self.misses += 1
+        return shared_memory.SharedMemory(create=True, size=cls)
+
+    def release(self, seg: shared_memory.SharedMemory) -> bool:
+        """Park an attached segment for reuse; False = caller unlinks."""
+        self._fork_guard()
+        cls = seg.size
+        if cls < self.MIN_CLASS or cls & (cls - 1):
+            return False  # pre-pool segment of arbitrary size: don't keep
+        segs = self._classes.setdefault(cls, [])
+        if (
+            len(segs) >= self.max_per_class
+            or self._total + cls > self.max_total_bytes
+        ):
+            self.evicted += 1
+            return False
+        segs.append(seg)
+        self._total += cls
+        self.released += 1
+        return True
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "released": self.released,
+            "evicted": self.evicted,
+            "pooled_bytes": self._total,
+        }
+
+    def teardown(self) -> dict[str, int]:
+        """Unlink every pooled segment; returns the final stats."""
+        self._fork_guard()
+        stats = self.stats()
+        for segs in self._classes.values():
+            for seg in segs:
+                seg.close()
+                try:
+                    seg.unlink()
+                except FileNotFoundError:  # pragma: no cover - racing cleanup
+                    pass
+        self._classes = {}
+        self._total = 0
+        return stats
+
+
+#: the process-wide pool (one per OS process; fork-guarded internally)
+_POOL = ShmPool()
+
+
+def pool_stats() -> dict[str, int]:
+    return _POOL.stats()
+
+
+def pool_teardown() -> dict[str, int]:
+    return _POOL.teardown()
+
+
 def _park(raw_nbytes: int) -> shared_memory.SharedMemory:
     # zero-size segments are rejected by the OS; never parked anyway
-    return shared_memory.SharedMemory(create=True, size=max(raw_nbytes, 1))
+    return _POOL.acquire(max(raw_nbytes, 1))
 
 
 def _handoff(seg: shared_memory.SharedMemory) -> None:
@@ -119,12 +255,15 @@ def encode_payload(
 
 
 def decode_payload(payload: Any) -> Any:
-    """Inverse of :func:`encode_payload`; unlinks each segment after the
-    copy-out, so decoding consumes the in-flight buffer."""
+    """Inverse of :func:`encode_payload`; consumes the in-flight buffer.
+    After the copy-out the segment is parked on this process's
+    :class:`ShmPool` for the next encode to reuse (unlinked only when the
+    pool is full)."""
 
     def walk(obj: Any) -> Any:
         if isinstance(obj, ShmRef):
             seg = shared_memory.SharedMemory(name=obj.name)
+            pooled = False
             try:
                 if obj.kind == "ndarray":
                     dtype = np.lib.format.descr_to_dtype(obj.dtype_descr)
@@ -132,12 +271,14 @@ def decode_payload(payload: Any) -> Any:
                     value: Any = src.copy()
                 else:
                     value = bytes(seg.buf[: obj.nbytes])
+                pooled = _POOL.release(seg)
             finally:
-                seg.close()
-                try:
-                    seg.unlink()
-                except FileNotFoundError:  # pragma: no cover - already gone
-                    pass
+                if not pooled:
+                    seg.close()
+                    try:
+                        seg.unlink()
+                    except FileNotFoundError:  # pragma: no cover - gone
+                        pass
             return value
         if isinstance(obj, dict):
             return {k: walk(v) for k, v in obj.items()}

@@ -58,6 +58,7 @@ from ..recovery.faults import FaultPlan, FaultSpec, make_injector
 from ..recovery.replay import CopyProgress, run_recoverable_copy
 from ..runtime import run_filter_copy
 from .channels import ProcessEdge
+from .transport import pool_teardown
 
 
 class ControlRecoverySink:
@@ -154,6 +155,10 @@ def worker_main(
                 out_edge.close_producer()
             except Exception:  # pragma: no cover - queue torn down under us
                 pass
+        # the worker is exiting: unlink its pooled segments and report the
+        # reuse counters (teardown is fork-guard safe — only this process's
+        # own pool entries are touched)
+        shm_stats = pool_teardown()
         try:
             if trace is not None:
                 control.put(
@@ -165,6 +170,8 @@ def worker_main(
                         trace.blocked,
                     )
                 )
+            if any(shm_stats.values()):
+                control.put(("shmpool", worker_id, shm_stats))
             control.put(
                 (
                     "stats",
@@ -204,7 +211,10 @@ def _run_recoverable(
     def crash(_fault: FaultSpec) -> None:
         # fail-stop: flush the feeders so committed packets/acks survive,
         # then die with no error report and no 'done' — the supervisor
-        # must notice through the process sentinel alone
+        # must notice through the process sentinel alone.  The idle pool
+        # segments hold no protocol state, so unlinking them here costs
+        # the fault model nothing and keeps the resource tracker quiet.
+        pool_teardown()
         out_edge.flush_producer()
         try:
             control.close()

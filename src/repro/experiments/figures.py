@@ -174,12 +174,14 @@ def _iso_figure(
     num_packets: int,
     improvement_band: tuple[float, float],
     engine: str = "threaded",
+    backend: str = "auto",
 ) -> FigureResult:
     app = make_zbuffer_app() if variant == "zbuffer" else make_active_pixels_app()
     workload = app.make_workload(dataset=dataset, num_packets=num_packets)
     results = run_experiment(
         app, workload, ["Default", "Decomp-Comp"],
         options=EngineOptions(engine=engine),
+        backend=backend,
     )
     fig = FigureResult(
         figure=figure,
@@ -196,7 +198,8 @@ def _iso_figure(
     return fig
 
 
-def figure5(num_packets: int = 16, engine: str = "threaded") -> FigureResult:
+def figure5(num_packets: int = 16, engine: str = "threaded",
+            backend: str = "auto") -> FigureResult:
     return _iso_figure(
         "Figure 5",
         "zbuffer",
@@ -210,10 +213,12 @@ def figure5(num_packets: int = 16, engine: str = "threaded") -> FigureResult:
         num_packets,
         improvement_band=(0.10, 4.0),
         engine=engine,
+        backend=backend,
     )
 
 
-def figure6(num_packets: int = 24, engine: str = "threaded") -> FigureResult:
+def figure6(num_packets: int = 24, engine: str = "threaded",
+            backend: str = "auto") -> FigureResult:
     return _iso_figure(
         "Figure 6",
         "zbuffer",
@@ -227,10 +232,12 @@ def figure6(num_packets: int = 24, engine: str = "threaded") -> FigureResult:
         num_packets,
         improvement_band=(0.10, 4.0),
         engine=engine,
+        backend=backend,
     )
 
 
-def figure7(num_packets: int = 16, engine: str = "threaded") -> FigureResult:
+def figure7(num_packets: int = 16, engine: str = "threaded",
+            backend: str = "auto") -> FigureResult:
     return _iso_figure(
         "Figure 7",
         "active-pixels",
@@ -242,10 +249,12 @@ def figure7(num_packets: int = 16, engine: str = "threaded") -> FigureResult:
         num_packets,
         improvement_band=(0.10, 8.0),
         engine=engine,
+        backend=backend,
     )
 
 
-def figure8(num_packets: int = 24, engine: str = "threaded") -> FigureResult:
+def figure8(num_packets: int = 24, engine: str = "threaded",
+            backend: str = "auto") -> FigureResult:
     return _iso_figure(
         "Figure 8",
         "active-pixels",
@@ -257,6 +266,7 @@ def figure8(num_packets: int = 24, engine: str = "threaded") -> FigureResult:
         num_packets,
         improvement_band=(0.10, 8.0),
         engine=engine,
+        backend=backend,
     )
 
 
@@ -272,12 +282,14 @@ def _knn_figure(
     n_points: int,
     num_packets: int,
     engine: str = "threaded",
+    backend: str = "auto",
 ) -> FigureResult:
     app = make_knn_app(k=k)
     workload = app.make_workload(n_points=n_points, num_packets=num_packets)
     results = run_experiment(
         app, workload, ["Default", "Decomp-Comp", "Decomp-Manual"],
         options=EngineOptions(engine=engine),
+        backend=backend,
     )
     fig = FigureResult(
         figure=figure,
@@ -296,7 +308,8 @@ def _knn_figure(
 
 
 def figure9(
-    n_points: int = 60_000, num_packets: int = 16, engine: str = "threaded"
+    n_points: int = 60_000, num_packets: int = 16, engine: str = "threaded",
+    backend: str = "auto",
 ) -> FigureResult:
     return _knn_figure(
         "Figure 9",
@@ -309,11 +322,13 @@ def figure9(
         n_points,
         num_packets,
         engine=engine,
+        backend=backend,
     )
 
 
 def figure10(
-    n_points: int = 60_000, num_packets: int = 16, engine: str = "threaded"
+    n_points: int = 60_000, num_packets: int = 16, engine: str = "threaded",
+    backend: str = "auto",
 ) -> FigureResult:
     return _knn_figure(
         "Figure 10",
@@ -326,6 +341,7 @@ def figure10(
         n_points,
         num_packets,
         engine=engine,
+        backend=backend,
     )
 
 
@@ -342,12 +358,14 @@ def _vmscope_figure(
     speedup_w2_band: tuple[float, float],
     speedup_w4_band: tuple[float, float],
     engine: str = "threaded",
+    backend: str = "auto",
 ) -> FigureResult:
     app = make_vmscope_app()
     workload = app.make_workload(query=query, num_packets=num_packets)
     results = run_experiment(
         app, workload, ["Default", "Decomp-Comp", "Decomp-Manual"],
         options=EngineOptions(engine=engine),
+        backend=backend,
     )
     fig = FigureResult(
         figure=figure,
@@ -365,7 +383,8 @@ def _vmscope_figure(
     return fig
 
 
-def figure11(num_packets: int = 16, engine: str = "threaded") -> FigureResult:
+def figure11(num_packets: int = 16, engine: str = "threaded",
+            backend: str = "auto") -> FigureResult:
     return _vmscope_figure(
         "Figure 11",
         "small",
@@ -380,10 +399,12 @@ def figure11(num_packets: int = 16, engine: str = "threaded") -> FigureResult:
         speedup_w2_band=(0.7, 2.1),
         speedup_w4_band=(0.7, 3.0),
         engine=engine,
+        backend=backend,
     )
 
 
-def figure12(num_packets: int = 16, engine: str = "threaded") -> FigureResult:
+def figure12(num_packets: int = 16, engine: str = "threaded",
+            backend: str = "auto") -> FigureResult:
     return _vmscope_figure(
         "Figure 12",
         "large",
@@ -397,6 +418,7 @@ def figure12(num_packets: int = 16, engine: str = "threaded") -> FigureResult:
         speedup_w2_band=(1.2, 2.1),
         speedup_w4_band=(1.4, 4.4),
         engine=engine,
+        backend=backend,
     )
 
 
@@ -413,10 +435,10 @@ ALL_FIGURES = {
 
 
 def run_all(
-    fast: bool = True, engine: str = "threaded"
+    fast: bool = True, engine: str = "threaded", backend: str = "auto"
 ) -> dict[str, FigureResult]:
     """Run every evaluation figure (used by EXPERIMENTS.md regeneration)."""
     out: dict[str, FigureResult] = {}
     for name, fn in ALL_FIGURES.items():
-        out[name] = fn(engine=engine)
+        out[name] = fn(engine=engine, backend=backend)
     return out

@@ -277,9 +277,12 @@ def _specs_for_version(
     version: str,
     env: PipelineEnv,
     objective: str = "total",
+    backend: str = "auto",
 ) -> tuple[list[FilterSpec], Any]:
     """Build (unwrapped) specs for a version; returns (specs, compile
-    result or None)."""
+    result or None).  ``backend`` selects the codegen backend for the
+    compiled versions ("scalar" | "vector" | "auto", see
+    :mod:`repro.codegen.vectorize`); the manual version ignores it."""
     if version == "Decomp-Manual":
         if app.manual_specs is None:
             raise ValueError(f"{app.name} has no manual version (as in the paper)")
@@ -301,6 +304,7 @@ def _specs_for_version(
         size_hints=dict(app.size_hints),
         runtime_classes=runtime_classes,
         method_costs=dict(app.method_costs),
+        backend=backend,
     )
     plan: DecompositionPlan | None = None
     result = compile_source(app.source, app.registry, options)
@@ -325,6 +329,7 @@ def measure_version(
     warmup: bool = True,
     options: EngineOptions | None = None,
     engine: str | None = None,
+    backend: str = "auto",
 ) -> MeasuredRun:
     """Run one version once (width 1 everywhere) and measure it.
 
@@ -333,7 +338,9 @@ def measure_version(
     packet."""
     opts = _resolve_options(options, engine)
     env = env or cluster_config(1)
-    specs, _result = _specs_for_version(app, workload, version, env, objective)
+    specs, _result = _specs_for_version(
+        app, workload, version, env, objective, backend=backend
+    )
     return measure_specs(
         specs,
         _result,
@@ -499,6 +506,7 @@ def run_experiment(
     check: bool = True,
     options: EngineOptions | None = None,
     engine: str | None = None,
+    backend: str = "auto",
 ) -> dict[str, VersionTimes]:
     """Measure each version once, simulate each configuration."""
     # each measured run gets its own Trace (one shared collector would mix
@@ -517,7 +525,13 @@ def run_experiment(
     calib_version = "Decomp-Comp" if "Decomp-Comp" in versions else versions[0]
     calib_env = next(iter(configs.values()))
     calib = measure_version(
-        app, workload, calib_version, env=calib_env, check=False, options=opts
+        app,
+        workload,
+        calib_version,
+        env=calib_env,
+        check=False,
+        options=opts,
+        backend=backend,
     )
     net_scale = calibrate_net_scale(calib)
     # Decomposition is environment-dependent (§4.1): compile per
@@ -527,7 +541,9 @@ def run_experiment(
     for version in versions:
         vt = VersionTimes(version=version)
         for config_name, env in configs.items():
-            specs, result = _specs_for_version(app, workload, version, env)
+            specs, result = _specs_for_version(
+                app, workload, version, env, backend=backend
+            )
             plan_key = str(result.plan) if result is not None else "manual"
             key = (version, plan_key)
             if key not in cache:
@@ -582,6 +598,8 @@ class CostModelReport:
     plan: str
     engine: str
     rows: list[CostModelRow]
+    #: codegen backend the measured pipeline was generated with
+    backend: str = "scalar"
 
     def compute_rows(self) -> list[CostModelRow]:
         return [r for r in self.rows if r.kind == "compute"]
@@ -594,6 +612,14 @@ class CostModelReport:
         if not rows:
             return float("nan")
         return sum(r.ratio for r in rows) / len(rows)
+
+    def calibration_factor(self) -> float:
+        """The backend's execution-vs-model slowdown: mean measured/predicted
+        ratio over the compute rows.  The cost model predicts testbed-speed
+        ops, so the scalar backend's factor is the per-record interpreter
+        overhead; the vector backend's factor collapses toward the NumPy
+        kernel cost (see EXPERIMENTS.md, 'Cost-model calibration')."""
+        return self.mean_ratio("compute")
 
     def table(self) -> str:
         """Markdown measured-vs-predicted table."""
@@ -617,7 +643,8 @@ class CostModelReport:
     def summary(self) -> str:
         return (
             f"cost model vs {self.engine} run of {self.app}/{self.version} "
-            f"(plan {self.plan}): compute slowdown x{self.mean_ratio('compute'):.1f} "
+            f"(plan {self.plan}, {self.backend} backend): compute slowdown "
+            f"x{self.calibration_factor():.1f} "
             f"(CPython vs modeled testbed ops), link bytes ratio "
             f"x{self.mean_ratio('link'):.2f}"
         )
@@ -680,6 +707,7 @@ def validate_cost_model(result, measured: MeasuredRun) -> CostModelReport:
         plan=str(plan),
         engine=measured.trace.engine or "?",
         rows=rows,
+        backend=result.pipeline.backend,
     )
 
 
@@ -690,10 +718,13 @@ def cost_model_report(
     env: PipelineEnv | None = None,
     options: EngineOptions | None = None,
     objective: str = "total",
+    backend: str = "auto",
 ) -> CostModelReport:
     """Compile, measure (traced), and validate in one call."""
     env = env or cluster_config(1)
-    specs, result = _specs_for_version(app, workload, version, env, objective)
+    specs, result = _specs_for_version(
+        app, workload, version, env, objective, backend=backend
+    )
     if result is None:
         raise ValueError(
             f"{version} is hand-written; only compiled versions carry a "
@@ -705,6 +736,43 @@ def cost_model_report(
     report = validate_cost_model(result, measured)
     report.app = app.name
     return report
+
+
+def backend_calibration(
+    app: AppBundle,
+    workload: Workload,
+    backends: Sequence[str] = ("scalar", "vector"),
+    version: str = "Decomp-Comp",
+    env: PipelineEnv | None = None,
+    options: EngineOptions | None = None,
+) -> dict[str, CostModelReport]:
+    """Cost-model calibration per codegen backend: one traced run and
+    :func:`validate_cost_model` join per backend.  The per-backend
+    ``calibration_factor()`` is what EXPERIMENTS.md tabulates — the scalar
+    backend pays per-record interpretation on top of the modeled ops, the
+    vector backend executes them as NumPy kernels."""
+    return {
+        backend: cost_model_report(
+            app, workload, version, env=env, options=options, backend=backend
+        )
+        for backend in backends
+    }
+
+
+def format_backend_calibration(
+    reports: dict[str, CostModelReport]
+) -> str:
+    """Markdown table of per-backend calibration factors."""
+    lines = [
+        "| app | backend | compute slowdown (measured/predicted) | link bytes ratio |",
+        "|-----|---------|--------------------------------------:|-----------------:|",
+    ]
+    for backend, rep in reports.items():
+        lines.append(
+            f"| {rep.app} | {backend} | x{rep.calibration_factor():.1f} "
+            f"| x{rep.mean_ratio('link'):.2f} |"
+        )
+    return "\n".join(lines)
 
 
 def format_results(

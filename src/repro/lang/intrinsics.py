@@ -83,6 +83,13 @@ class Intrinsic:
     #: True when the call only filters/inspects (no observable writes other
     #: than its return value); such calls may sit inside a foreach safely.
     pure: bool = True
+    #: Optional columnar (batch) form consumed by the ``vector`` codegen
+    #: backend: called once per packet with whole columns (1-D arrays for
+    #: scalar parameters, ``(n, L)`` arrays or ``(values, offsets)`` ragged
+    #: pairs for array parameters; packet scalars broadcast) and returning a
+    #: column of results.  A loop calling an intrinsic without a batch form
+    #: is not vectorizable and falls back to the scalar backend.
+    batch_fn: Optional[Callable] = None
 
 
 class IntrinsicRegistry:

@@ -1,0 +1,184 @@
+"""Shared-memory segment pooling in the process-engine transport.
+
+Unit tests drive :class:`repro.datacutter.mp.transport.ShmPool` directly
+(size classes, hit/miss accounting, bounded parking, teardown); the
+integration test runs a real pipeline shaped so a middle stage consumes
+*and* produces large payloads of the same size class — the configuration
+where recycling actually fires — and asserts the reuse counters land in
+the run trace.
+"""
+
+import multiprocessing
+import time
+from multiprocessing import shared_memory
+
+import pytest
+
+from repro.apps import make_zbuffer_app
+from repro.core.compiler import CompileOptions, compile_source
+from repro.cost import cluster_config
+from repro.datacutter import EngineOptions, run_pipeline
+from repro.datacutter.mp.transport import ShmPool
+from repro.datacutter.obs.trace import Trace
+from repro.decompose.plan import DecompositionPlan
+
+PROC_TIMEOUT = 120.0
+
+
+def _no_orphans():
+    deadline = time.monotonic() + 10.0
+    while multiprocessing.active_children() and time.monotonic() < deadline:
+        time.sleep(0.05)
+    assert multiprocessing.active_children() == []
+
+
+# ---------------------------------------------------------------------------
+# ShmPool unit behaviour
+# ---------------------------------------------------------------------------
+
+
+def test_size_class_rounds_to_power_of_two():
+    assert ShmPool.size_class(1) == ShmPool.MIN_CLASS
+    assert ShmPool.size_class(ShmPool.MIN_CLASS) == ShmPool.MIN_CLASS
+    assert ShmPool.size_class(ShmPool.MIN_CLASS + 1) == 2 * ShmPool.MIN_CLASS
+    assert ShmPool.size_class(100_000) == 131_072
+
+
+def test_acquire_release_recycles_segment():
+    pool = ShmPool()
+    try:
+        seg = pool.acquire(5000)
+        assert pool.misses == 1 and pool.hits == 0
+        assert seg.size == 8192  # sized to the class, not the request
+        name = seg.name
+        assert pool.release(seg) is True
+        assert pool.stats()["pooled_bytes"] == 8192
+        # same class -> the parked segment comes back
+        again = pool.acquire(6000)
+        assert again.name == name
+        assert pool.hits == 1
+        # different class -> fresh segment
+        other = pool.acquire(20_000)
+        assert other.name != name
+        assert pool.misses == 2
+        pool.release(again)
+        pool.release(other)
+    finally:
+        pool.teardown()
+
+
+def test_release_refuses_foreign_and_overflow_segments():
+    pool = ShmPool(max_per_class=1)
+    foreign = shared_memory.SharedMemory(create=True, size=5000)
+    try:
+        # arbitrary-size (pre-pool) segment: never parked
+        assert pool.release(foreign) is False
+    finally:
+        foreign.close()
+        foreign.unlink()
+    a = pool.acquire(100)
+    b = pool.acquire(100)
+    try:
+        assert pool.release(a) is True
+        # class list full (max_per_class=1): caller must unlink
+        assert pool.release(b) is False
+        assert pool.evicted == 1
+    finally:
+        b.close()
+        b.unlink()
+        pool.teardown()
+
+
+def test_teardown_unlinks_everything():
+    pool = ShmPool()
+    seg = pool.acquire(1)
+    name = seg.name
+    pool.release(seg)
+    stats = pool.teardown()
+    assert stats["misses"] == 1 and stats["released"] == 1
+    with pytest.raises(FileNotFoundError):
+        shared_memory.SharedMemory(name=name)
+    # teardown leaves the pool usable and empty
+    assert pool.stats()["pooled_bytes"] == 0
+
+
+# ---------------------------------------------------------------------------
+# End-to-end reuse on the process engine
+# ---------------------------------------------------------------------------
+
+
+def test_pool_reuse_reported_in_trace():
+    """A middle stage that consumes and produces same-class payloads
+    recycles the segments it drains, and the counters reach the trace.
+
+    The DP decomposition usually ships only small acks downstream of the
+    heavy stage, so reuse is forced here with an explicit plan splitting
+    the transform atoms onto unit 2 (large in, large out) and a low shm
+    threshold."""
+    app = make_zbuffer_app(width=64, height=64)
+    workload = app.make_workload(dataset="small", num_packets=6)
+    runtime_classes = dict(app.runtime_classes)
+    for key, value in workload.params.items():
+        if key.endswith("_class") and isinstance(value, type):
+            for decl in ("VImage", "KNN", "ZBuffer", "ActivePixels"):
+                if decl.lower() == key[: -len("_class")].lower():
+                    runtime_classes.setdefault(decl, value)
+    options = CompileOptions(
+        env=cluster_config(3),
+        profile=workload.profile,
+        size_hints=dict(app.size_hints),
+        runtime_classes=runtime_classes,
+        method_costs=dict(app.method_costs),
+    )
+    plan = DecompositionPlan((1, 1, 2, 2, 3, 3, 3), 3)
+    result = compile_source(app.source, app.registry, options, plan=plan)
+    specs = result.pipeline.specs(workload.packets, workload.params)
+    trace = Trace()
+    run = run_pipeline(
+        specs,
+        EngineOptions(
+            engine="process",
+            timeout=PROC_TIMEOUT,
+            shm_min_bytes=4096,
+            trace=trace,
+        ),
+    )
+    assert workload.check(run.payloads[-1], workload.oracle())
+    stats = trace.meta.get("shm_pool")
+    assert stats is not None, "pool counters never reached the trace"
+    assert stats["hits"] > 0
+    assert stats["released"] > 0
+    assert stats["misses"] > 0
+    _no_orphans()
+
+
+def test_pool_disabled_below_threshold():
+    """With the default 64 KiB threshold the tiny workload never touches
+    shared memory mid-stream; the trace then carries no pool note at all
+    (or an all-flush one), and the run still checks out."""
+    app = make_zbuffer_app(width=48, height=48)
+    workload = app.make_workload(dataset="tiny", num_packets=4)
+    runtime_classes = dict(app.runtime_classes)
+    for key, value in workload.params.items():
+        if key.endswith("_class") and isinstance(value, type):
+            for decl in ("VImage", "KNN", "ZBuffer", "ActivePixels"):
+                if decl.lower() == key[: -len("_class")].lower():
+                    runtime_classes.setdefault(decl, value)
+    options = CompileOptions(
+        env=cluster_config(2),
+        profile=workload.profile,
+        size_hints=dict(app.size_hints),
+        runtime_classes=runtime_classes,
+        method_costs=dict(app.method_costs),
+    )
+    result = compile_source(app.source, app.registry, options)
+    specs = result.pipeline.specs(workload.packets, workload.params)
+    trace = Trace()
+    run = run_pipeline(
+        specs,
+        EngineOptions(engine="process", timeout=PROC_TIMEOUT, trace=trace),
+    )
+    assert workload.check(run.payloads[-1], workload.oracle())
+    stats = trace.meta.get("shm_pool", {"hits": 0})
+    assert stats["hits"] == 0
+    _no_orphans()
