@@ -26,6 +26,16 @@ reason as a comment).  Both backends must produce byte-identical packed
 batches — elementwise ufuncs neither reorder nor reassociate float
 operations, and the differential suite in ``tests/test_vectorize.py``
 asserts identity on all four applications.
+
+Two invariants keep the lowering observationally equal to the scalar
+loop.  First, generated columnar code never mutates an array in place:
+every assignment — compound assignment included — *rebinds* its target,
+because the current binding may be a zero-copy view of the caller's
+packet/batch column or the saved pre-branch value of an ``if``/``else``
+merge.  Second, each vectorized group runs under
+``np.errstate(all='ignore')``: eager ``&``/``|`` and both-branch
+``np.where`` evaluation compute lanes the scalar code short-circuits
+past, and those dead lanes must not surface as FP warnings or errors.
 """
 
 from __future__ import annotations
@@ -415,7 +425,11 @@ class _GroupEmitter:
             op = node.op
             if op == "/" and _is_int_type(node.target.type):
                 op = "//"
-            self.gen.emit(f"{name} {op}= {value}")
+            # rebind — never emit 'name op= value': the name may alias a
+            # column view of the caller's packet/batch (column hoist) or
+            # the pre-branch value (if/else save), and an in-place ufunc
+            # would mutate those instead of this binding alone
+            self.gen.emit(f"{name} = {name} {op} ({value})")
             if self._is_columnar(node.value):
                 self.columnar.add(name)
         else:
@@ -506,7 +520,15 @@ def emit_vector_group(
 
     Emits straight-line code: hoist the needed columns, evaluate guards as
     compressing masks, translate statements with :class:`VectorPyGen`, and
-    hand the output columns to ``BatchBuilder.extend`` in one chunk."""
+    hand the output columns to ``BatchBuilder.extend`` in one chunk.
+
+    The whole group runs under ``np.errstate(all='ignore')``: eager ``&``/
+    ``|`` and both-branch ``np.where`` evaluation legally compute lanes the
+    scalar backend short-circuits past (e.g. the divide in
+    ``x != 0.0 && y / x > 1.0``), and those dead lanes must not surface as
+    RuntimeWarnings — or FloatingPointErrors under a caller's
+    ``np.seterr`` — that the scalar backend would never produce.  Selected
+    values are unaffected: errstate changes error handling, not results."""
     chain = fg.chain
     if group:
         elem = chain.atom(group[0]).elem_var
@@ -516,6 +538,25 @@ def emit_vector_group(
         gen.emit("# vectorized forwarding loop: no element atoms on this unit")
     assert elem is not None, "element loop without a foreach stream"
 
+    gen.emit("with _np.errstate(all='ignore'):")
+    with gen.block():
+        _emit_vector_group_body(
+            fg, gen, env, group, needed, out_layout, source_mode, in_layout, elem
+        )
+
+
+def _emit_vector_group_body(
+    fg: Any,
+    gen: PyGen,
+    env: NameEnv,
+    group: list[int],
+    needed: set[str],
+    out_layout: PacketLayout | None,
+    source_mode: bool,
+    in_layout: PacketLayout | None,
+    elem: VarSymbol,
+) -> None:
+    chain = fg.chain
     columnar: set[str] = set()
     for source in sorted(needed):
         py = mangle(source)

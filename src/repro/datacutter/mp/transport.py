@@ -35,6 +35,7 @@ the control queue and land in the run trace under ``shm_pool``.
 from __future__ import annotations
 
 import os
+import threading
 from dataclasses import dataclass, field
 from multiprocessing import resource_tracker, shared_memory
 from typing import Any
@@ -76,6 +77,12 @@ class ShmPool:
     ownership claim survives exactly as for an in-flight buffer; a
     :meth:`teardown` closes and unlinks everything.
 
+    Thread safety: acquire/release/stats/teardown hold an internal
+    ``threading.Lock`` — negligible next to the shm syscalls it protects —
+    so encode/decode on two threads of one process, or a teardown on the
+    engine's interrupt path racing a concurrent release, cannot pop from
+    an emptied free list, misaccount the byte budget, or leak a segment.
+
     Fork safety: workers are forked mid-run, so a child may inherit its
     parent's pool dict.  Every operation checks the pid and drops
     inherited entries (closing only this process's mappings — the parent
@@ -92,6 +99,7 @@ class ShmPool:
         self._classes: dict[int, list[shared_memory.SharedMemory]] = {}
         self._total = 0
         self._pid = os.getpid()
+        self._lock = threading.Lock()
         self.max_per_class = max_per_class
         self.max_total_bytes = max_total_bytes
         self.hits = 0
@@ -105,6 +113,15 @@ class ShmPool:
         while cls < nbytes:
             cls <<= 1
         return cls
+
+    def _locked(self) -> threading.Lock:
+        # a forked child inherits the parent's lock in whatever state it
+        # held at fork time; the child is single-threaded here, so swap
+        # in a fresh lock before acquiring (the pid-keyed cleanup of the
+        # inherited entries happens under it, in _fork_guard)
+        if os.getpid() != self._pid:
+            self._lock = threading.Lock()
+        return self._lock
 
     def _fork_guard(self) -> None:
         if os.getpid() == self._pid:
@@ -123,35 +140,38 @@ class ShmPool:
         self.hits = self.misses = self.released = self.evicted = 0
 
     def acquire(self, nbytes: int) -> shared_memory.SharedMemory:
-        self._fork_guard()
         cls = self.size_class(max(nbytes, 1))
-        segs = self._classes.get(cls)
-        if segs:
-            self.hits += 1
-            self._total -= cls
-            return segs.pop()
-        self.misses += 1
+        with self._locked():
+            self._fork_guard()
+            segs = self._classes.get(cls)
+            if segs:
+                self.hits += 1
+                self._total -= cls
+                return segs.pop()
+            self.misses += 1
+        # create outside the lock: the syscall pair is the slow path
         return shared_memory.SharedMemory(create=True, size=cls)
 
     def release(self, seg: shared_memory.SharedMemory) -> bool:
         """Park an attached segment for reuse; False = caller unlinks."""
-        self._fork_guard()
-        cls = seg.size
-        if cls < self.MIN_CLASS or cls & (cls - 1):
-            return False  # pre-pool segment of arbitrary size: don't keep
-        segs = self._classes.setdefault(cls, [])
-        if (
-            len(segs) >= self.max_per_class
-            or self._total + cls > self.max_total_bytes
-        ):
-            self.evicted += 1
-            return False
-        segs.append(seg)
-        self._total += cls
-        self.released += 1
-        return True
+        with self._locked():
+            self._fork_guard()
+            cls = seg.size
+            if cls < self.MIN_CLASS or cls & (cls - 1):
+                return False  # pre-pool segment of arbitrary size: don't keep
+            segs = self._classes.setdefault(cls, [])
+            if (
+                len(segs) >= self.max_per_class
+                or self._total + cls > self.max_total_bytes
+            ):
+                self.evicted += 1
+                return False
+            segs.append(seg)
+            self._total += cls
+            self.released += 1
+            return True
 
-    def stats(self) -> dict[str, int]:
+    def _stats(self) -> dict[str, int]:
         return {
             "hits": self.hits,
             "misses": self.misses,
@@ -160,19 +180,27 @@ class ShmPool:
             "pooled_bytes": self._total,
         }
 
+    def stats(self) -> dict[str, int]:
+        with self._locked():
+            return self._stats()
+
     def teardown(self) -> dict[str, int]:
         """Unlink every pooled segment; returns the final stats."""
-        self._fork_guard()
-        stats = self.stats()
-        for segs in self._classes.values():
+        with self._locked():
+            self._fork_guard()
+            stats = self._stats()
+            classes = self._classes
+            self._classes = {}
+            self._total = 0
+        # the segments are now owned by this call alone; unlink them
+        # outside the lock so a concurrent acquire is not held up
+        for segs in classes.values():
             for seg in segs:
                 seg.close()
                 try:
                     seg.unlink()
                 except FileNotFoundError:  # pragma: no cover - racing cleanup
                     pass
-        self._classes = {}
-        self._total = 0
         return stats
 
 

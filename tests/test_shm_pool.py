@@ -9,6 +9,7 @@ the run trace.
 """
 
 import multiprocessing
+import threading
 import time
 from multiprocessing import shared_memory
 
@@ -99,6 +100,37 @@ def test_teardown_unlinks_everything():
     with pytest.raises(FileNotFoundError):
         shared_memory.SharedMemory(name=name)
     # teardown leaves the pool usable and empty
+    assert pool.stats()["pooled_bytes"] == 0
+
+
+def test_pool_is_thread_safe():
+    """Hammer one pool from several threads: the internal lock must keep
+    the free lists and the byte budget consistent (no pop from an emptied
+    list, no negative/runaway pooled_bytes) and every segment must end up
+    either unlinked by its thread or reclaimed by teardown."""
+    pool = ShmPool(max_per_class=4)
+    errors: list[BaseException] = []
+
+    def churn():
+        try:
+            for _ in range(200):
+                seg = pool.acquire(5000)
+                if not pool.release(seg):
+                    seg.close()
+                    seg.unlink()
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=churn) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+    stats = pool.teardown()
+    assert stats["pooled_bytes"] >= 0
+    assert stats["hits"] + stats["misses"] == 4 * 200
+    # after teardown the pool is empty and still usable
     assert pool.stats()["pooled_bytes"] == 0
 
 

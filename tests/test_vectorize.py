@@ -12,6 +12,7 @@ recorded in the generated source — and still compute the same answer.
 
 import multiprocessing
 import time
+import warnings
 
 import numpy as np
 import pytest
@@ -233,6 +234,81 @@ class Main {
 """
 
 
+#: compound assignment on a local initialized from an element field: the
+#: local's binding starts as a zero-copy view of the caller's column, so
+#: the emitted update must rebind, never run an in-place ufunc (the
+#: trailing 'v + r.a' reads the column again and exposes any mutation)
+COMPOUND_SOURCE = _PRELUDE + """
+class Main {
+    void go(double thresh) {
+        runtime_define int num_packets;
+        Rectdomain<1, Rec> recs = read_recs();
+        Acc result = new Acc();
+        PipelinedLoop (p in recs) {
+            Acc local = new Acc();
+            foreach (r in p) {
+                double v = r.a;
+                v += r.b;
+                local.add(v + r.a);
+            }
+            result.merge(local);
+        }
+        display(result);
+    }
+}
+"""
+
+#: compound assignment inside a branch: the branch-save is an alias of
+#: the pre-branch value, so an in-place '+=' would leak the branch effect
+#: into every lane through the np.where merge
+BRANCH_COMPOUND_SOURCE = _PRELUDE + """
+class Main {
+    void go(double thresh) {
+        runtime_define int num_packets;
+        Rectdomain<1, Rec> recs = read_recs();
+        Acc result = new Acc();
+        PipelinedLoop (p in recs) {
+            Acc local = new Acc();
+            foreach (r in p) {
+                double v = r.b;
+                if (r.a > thresh) {
+                    v += 10.0;
+                }
+                local.add(v);
+            }
+            result.merge(local);
+        }
+        display(result);
+    }
+}
+"""
+
+#: '&&' whose right operand divides by the value the left operand guards:
+#: scalar short-circuits past the divide, the eager columnar '&' runs it
+#: on every lane — under errstate(ignore) inside the generated code
+SHORT_CIRCUIT_DIV_SOURCE = _PRELUDE + """
+class Main {
+    void go(double thresh) {
+        runtime_define int num_packets;
+        Rectdomain<1, Rec> recs = read_recs();
+        Acc result = new Acc();
+        PipelinedLoop (p in recs) {
+            Acc local = new Acc();
+            foreach (r in p) {
+                double v = 0.0;
+                if (r.b != 0.0 && r.a / r.b > 1.0) {
+                    v = r.a;
+                }
+                local.add(v);
+            }
+            result.merge(local);
+        }
+        display(result);
+    }
+}
+"""
+
+
 class MaxAcc:
     """Max fold: an exact selection, so batch and scalar agree bitwise."""
 
@@ -343,6 +419,76 @@ def test_branch_reduction_falls_back():
     vector, v_best = _run_snippet(BRANCH_REDUCE_SOURCE, "vector", packets, params)
     assert _loop_counts(vector)[0] == (0, 1)
     assert "reduction update under if/else" in vector.pipeline.filters[0].source
+    assert np.float64(s_best).tobytes() == np.float64(v_best).tobytes()
+
+
+def test_compound_assign_does_not_mutate_input():
+    """'v = r.a; v += r.b' vectorizes, and the caller's packet arrays come
+    back byte-identical: the hoisted column is a zero-copy view, so the
+    update must rebind rather than run an in-place ufunc through it."""
+    packets = _snippet_packets(seed=13)
+    before = [{k: v.copy() for k, v in pk.fields.items()} for pk in packets]
+    params = {"thresh": 0.0, "num_packets": len(packets)}
+    scalar, s_best = _run_snippet(COMPOUND_SOURCE, "scalar", packets, params)
+    vector, v_best = _run_snippet(COMPOUND_SOURCE, "vector", packets, params)
+    assert _loop_counts(vector)[0] == (1, 0)
+    for pk, orig in zip(packets, before):
+        for fld, arr in orig.items():
+            assert np.array_equal(pk.fields[fld], arr), fld
+    assert np.float64(s_best).tobytes() == np.float64(v_best).tobytes()
+
+
+def test_compound_assign_in_branch_masks_lanes():
+    """'v += 10.0' under if/else applies to the guarded lanes only: an
+    in-place update would write through the branch-save alias and the
+    np.where merge would then add 10 to every lane."""
+    count = 32
+    a = np.full(count, -1.0)
+    a[:4] = 1.0  # only lanes 0..3 take the branch
+    b = np.arange(count, dtype=np.float64)
+    packets = [RawPacket(count=count, fields={"a": a, "b": b})]
+    params = {"thresh": 0.0, "num_packets": len(packets)}
+    scalar, s_best = _run_snippet(
+        BRANCH_COMPOUND_SOURCE, "scalar", packets, params
+    )
+    vector, v_best = _run_snippet(
+        BRANCH_COMPOUND_SOURCE, "vector", packets, params
+    )
+    assert _loop_counts(vector)[0] == (1, 0)
+    # unmasked max (31.0) beats the masked lanes (3.0 + 10.0); a leaked
+    # branch effect would report 41.0 instead
+    assert s_best == 31.0
+    assert np.float64(s_best).tobytes() == np.float64(v_best).tobytes()
+
+
+def test_short_circuit_divide_is_silent():
+    """Eager '&' legally divides on lanes the scalar code short-circuits
+    past; the generated errstate block keeps those lanes silent even when
+    the caller escalates warnings to errors."""
+    count = 40
+    rng = np.random.default_rng(17)
+    packets = [
+        RawPacket(
+            count=count,
+            fields={
+                "a": rng.normal(size=count) * 4.0,
+                "b": rng.normal(size=count).round(),  # exact zeros
+            },
+        )
+        for _ in range(3)
+    ]
+    assert any((pk.fields["b"] == 0.0).any() for pk in packets)
+    params = {"thresh": 0.0, "num_packets": len(packets)}
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        scalar, s_best = _run_snippet(
+            SHORT_CIRCUIT_DIV_SOURCE, "scalar", packets, params
+        )
+        vector, v_best = _run_snippet(
+            SHORT_CIRCUIT_DIV_SOURCE, "vector", packets, params
+        )
+    assert _loop_counts(vector)[0] == (1, 0)
+    assert "with _np.errstate" in vector.pipeline.filters[0].source
     assert np.float64(s_best).tobytes() == np.float64(v_best).tobytes()
 
 
