@@ -21,6 +21,12 @@ Commands:
   ``-o`` exports the recovery trace (with its ``restart`` spans).
 * ``figures [NAMES...]`` — reproduce the paper's evaluation figures
   (default: all of fig5..fig12) and print paper-vs-measured reports.
+* ``serve`` — start an in-process pipeline server (plan cache, warm
+  engine, micro-batching, admission control), push a deterministic mixed
+  burst of knn + vmscope requests through it, and print serving metrics;
+  ``--verify`` additionally checks every response byte-identical to a
+  fresh one-shot compile+execute, and ``-o`` exports the request-scoped
+  trace as JSON lines.
 * ``apps`` — list the bundled evaluation applications.
 
 Intrinsic implementations cannot be supplied from the command line, so
@@ -269,6 +275,122 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if identical and restarts else 1
 
 
+def _mixed_burst(count: int, mix: str, seed: int) -> list:
+    """A deterministic request burst: ``mix`` is ``kind=weight,...``;
+    knn query points are seeded so ``--verify`` has a stable baseline."""
+    import numpy as np
+
+    weights: dict[str, int] = {}
+    for item in mix.split(","):
+        kind, _, weight = item.partition("=")
+        weights[kind.strip()] = int(weight) if weight else 1
+    unknown = sorted(set(weights) - {"knn", "vmscope"})
+    if unknown:
+        raise ValueError(f"unknown kinds in --mix: {unknown}")
+    rng = np.random.default_rng(seed)
+    schedule = [k for k, w in sorted(weights.items()) for _ in range(w)]
+    requests = []
+    presets = ("small", "large")
+    for i in range(count):
+        kind = schedule[i % len(schedule)]
+        if kind == "knn":
+            # few distinct points, repeated: gives the broker coalescing
+            # opportunities while still exercising multiple groups
+            x, y, z = rng.integers(0, 5, size=3) / 5.0 + 0.1
+            requests.append(("knn", {"x": round(x, 3), "y": round(y, 3), "z": round(z, 3)}))
+        else:
+            requests.append(("vmscope", {"query": presets[i % len(presets)]}))
+    return requests
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import time
+
+    from .apps import make_knn_service, make_vmscope_service
+    from .datacutter import EngineOptions
+    from .serve import LocalClient, PipelineServer, ServerOptions
+    from .serve.session import oneshot
+
+    if args.requests < 1:
+        print("serve: --requests must be >= 1")
+        return 2
+    services = [
+        make_knn_service(n_points=4_000, num_packets=4, backend=args.backend),
+        make_vmscope_service(
+            image_w=128, image_h=128, tile=32, num_packets=4, backend=args.backend
+        ),
+    ]
+    options = ServerOptions(
+        engine_options=EngineOptions(engine=args.engine),
+        max_queue=args.queue,
+        admission=args.policy,
+        max_batch=args.max_batch,
+        batch_deadline=args.batch_deadline,
+    )
+    try:
+        requests = _mixed_burst(args.requests, args.mix, args.seed)
+    except ValueError as exc:
+        print(f"serve: {exc}")
+        return 2
+
+    server = PipelineServer(services, options)
+    with server:
+        client = LocalClient(server, timeout=600.0)
+        t0 = time.perf_counter()
+        responses = client.burst(requests)
+        wall = time.perf_counter() - t0
+        stats = client.stats()
+
+    ok = [r for r in responses if r.ok]
+    failed = [r for r in responses if not r.ok]
+    print(f"pipeline server on the {args.engine} engine")
+    print(f"  requests: {len(responses)}  ok: {len(ok)}  failed: {len(failed)}")
+    print(f"  wall time: {wall:.3f}s  throughput: {len(ok) / wall:.1f} req/s")
+    print(
+        f"  executions: {stats['executions']}  "
+        f"plan-cache hits: {stats['plan_cache_hits']}  "
+        f"mean batch occupancy: {stats['batch_occupancy_mean']:.2f}"
+    )
+    lat = stats["latency"]
+    print(
+        f"  latency p50/p95/p99: "
+        f"{lat['p50'] * 1e3:.1f} / {lat['p95'] * 1e3:.1f} / {lat['p99'] * 1e3:.1f} ms"
+    )
+    for response in failed:
+        print(f"  FAILED #{response.id} {response.kind}: {response.status}")
+
+    if args.out:
+        server.metrics.write_jsonl(args.out)
+        print(f"  metrics written to {args.out} (JSON lines)")
+
+    if failed:
+        return 1
+    if args.verify:
+        # one fresh one-shot compile+execute per distinct request body;
+        # every served response must be byte-identical to it
+        baselines: dict[str, object] = {}
+        mismatches = 0
+        by_kind = {s.name: s for s in services}
+        for (kind, body), response in zip(requests, responses):
+            key = f"{kind}/{sorted(body.items())}"
+            if key not in baselines:
+                baselines[key] = oneshot(
+                    by_kind[kind].plan(body),
+                    EngineOptions(engine=args.engine),
+                )
+            expect = baselines[key]
+            if response.value.tobytes() != expect.tobytes():
+                mismatches += 1
+                print(f"  VERIFY MISMATCH #{response.id} {kind} {body}")
+        verdict = "OK" if mismatches == 0 else f"{mismatches} MISMATCHES"
+        print(
+            f"  verify vs one-shot ({len(baselines)} distinct requests): {verdict}"
+        )
+        if mismatches:
+            return 1
+    return 0
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
     from .experiments.figures import ALL_FIGURES
 
@@ -489,6 +611,64 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution engine for the measured runs",
     )
     p_fig.set_defaults(fn=_cmd_figures)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="start a pipeline server and push a mixed request burst through it",
+    )
+    p_serve.add_argument(
+        "--engine",
+        choices=["threaded", "process"],
+        default="threaded",
+        help="execution engine behind the warm session",
+    )
+    p_serve.add_argument(
+        "--requests", type=int, default=60, help="burst size (default 60)"
+    )
+    p_serve.add_argument(
+        "--mix",
+        default="knn=3,vmscope=1",
+        help="request mix as kind=weight,... (default knn=3,vmscope=1)",
+    )
+    p_serve.add_argument(
+        "--policy",
+        choices=["block", "reject", "shed-oldest"],
+        default="block",
+        help="admission policy when the queue is full",
+    )
+    p_serve.add_argument(
+        "--queue", type=int, default=256, help="admission queue capacity"
+    )
+    p_serve.add_argument(
+        "--max-batch", type=int, default=16, help="micro-batch size budget"
+    )
+    p_serve.add_argument(
+        "--batch-deadline",
+        type=float,
+        default=0.005,
+        help="seconds the batcher waits for followers (default 0.005)",
+    )
+    p_serve.add_argument(
+        "--backend",
+        choices=["auto", "scalar", "vector"],
+        default="auto",
+        help="codegen backend for foreach bodies (vector = columnar NumPy; auto = $REPRO_BACKEND or scalar)",
+    )
+    p_serve.add_argument(
+        "--seed", type=int, default=7, help="burst RNG seed (deterministic)"
+    )
+    p_serve.add_argument(
+        "--verify",
+        action="store_true",
+        help="check every response byte-identical to a fresh one-shot run",
+    )
+    p_serve.add_argument(
+        "-o",
+        "--out",
+        default=None,
+        help="export serving metrics as JSON lines",
+    )
+    p_serve.set_defaults(fn=_cmd_serve)
 
     p_apps = sub.add_parser("apps", help="list bundled applications")
     p_apps.set_defaults(fn=_cmd_apps)

@@ -14,11 +14,20 @@ from .datasets import (
     scalar_field,
 )
 from .isosurface import make_active_pixels_app, make_zbuffer_app
-from .knn import knn_oracle, make_knn_app, make_knn_class, manual_knn_specs
+from .knn import (
+    KnnService,
+    knn_oracle,
+    make_knn_app,
+    make_knn_class,
+    make_knn_service,
+    manual_knn_specs,
+)
 from .vmscope import (
     QUERIES,
+    VmscopeService,
     make_vimage_class,
     make_vmscope_app,
+    make_vmscope_service,
     manual_vmscope_specs,
     subsample_tile_masked,
     subsample_tile_strided,
@@ -27,19 +36,23 @@ from .vmscope import (
 __all__ = [
     "AppBundle",
     "CubeDataset",
+    "KnnService",
     "PointDataset",
     "QUERIES",
     "TileDataset",
+    "VmscopeService",
     "Workload",
     "knn_oracle",
     "make_active_pixels_app",
     "make_cube_dataset",
     "make_knn_app",
     "make_knn_class",
+    "make_knn_service",
     "make_point_dataset",
     "make_tile_dataset",
     "make_vimage_class",
     "make_vmscope_app",
+    "make_vmscope_service",
     "make_zbuffer_app",
     "manual_knn_specs",
     "manual_vmscope_specs",

@@ -255,6 +255,77 @@ def manual_knn_specs(workload: Workload, widths: list[int]) -> list[FilterSpec]:
 
 
 # ---------------------------------------------------------------------------
+# Serving adapter (repro.serve): request -> packets + params
+# ---------------------------------------------------------------------------
+
+
+def _knn_extract(payloads: list) -> np.ndarray:
+    """Final pipeline payload -> canonical sorted (dist, x, y, z) rows —
+    a plain ndarray, so responses are byte-comparable across serving and
+    one-shot paths."""
+    return payloads[-1]["result"].rows()
+
+
+class KnnService:
+    """Serves k-NN queries over one resident point dataset.
+
+    The compiled pipeline takes the query point as *runtime parameters*
+    (``qx``/``qy``/``qz``), so every query shares a single plan-cache
+    entry: the first request compiles, every later request — any query
+    point — streams straight through the warm pipeline.  Requests with
+    identical query points coalesce into one execution."""
+
+    name = "knn"
+
+    def __init__(
+        self,
+        k: int = 3,
+        n_points: int = 20_000,
+        num_packets: int = 8,
+        width: int = 1,
+        backend: str = "auto",
+        objective: str = "total",
+    ) -> None:
+        from ..core.compiler import CompileOptions
+        from ..cost.environment import cluster_config
+
+        self.app = make_knn_app(k)
+        self.workload = self.app.make_workload(
+            n_points=n_points, num_packets=num_packets
+        )
+        self.options = CompileOptions(
+            env=cluster_config(width),
+            profile=self.workload.profile,
+            objective=objective,
+            size_hints=dict(self.app.size_hints),
+            runtime_classes=dict(self.app.runtime_classes),
+            method_costs=dict(self.app.method_costs),
+            backend=backend,
+        )
+
+    def plan(self, body):
+        from ..serve.requests import ServicePlan
+
+        q = tuple(float(body.get(axis, 0.5)) for axis in ("x", "y", "z"))
+        params = dict(self.workload.params)
+        params["qx"], params["qy"], params["qz"] = q
+        return ServicePlan(
+            service=self.name,
+            group_key=f"q=({q[0]!r},{q[1]!r},{q[2]!r})",
+            source=self.app.source,
+            registry=self.app.registry,
+            options=self.options,
+            packets=self.workload.packets,
+            params=params,
+            extract=_knn_extract,
+        )
+
+
+def make_knn_service(**kwargs) -> KnnService:
+    return KnnService(**kwargs)
+
+
+# ---------------------------------------------------------------------------
 # App bundle
 # ---------------------------------------------------------------------------
 

@@ -300,6 +300,90 @@ QUERIES = {
 }
 
 
+# ---------------------------------------------------------------------------
+# Serving adapter (repro.serve): request -> packets + params
+# ---------------------------------------------------------------------------
+
+
+def _vmscope_extract(payloads: list) -> np.ndarray:
+    """Final pipeline payload -> the rendered region image (ndarray, so
+    responses are byte-comparable across serving and one-shot paths)."""
+    return payloads[-1]["result"].image()
+
+
+class VmscopeService:
+    """Serves virtual-microscope region queries over one resident slide.
+
+    Unlike knn, the query shapes the *compilation*: the output-image
+    reduction class and the workload profile (selectivity, block sizes)
+    are query-dependent, so each distinct preset gets its own plan-cache
+    entry — compiled on first request, warm on every repeat.  That is the
+    cache working as intended: the key covers the whole decomposition
+    context, not just the source text."""
+
+    name = "vmscope"
+
+    def __init__(
+        self,
+        image_w: int = 256,
+        image_h: int = 256,
+        tile: int = 32,
+        num_packets: int = 6,
+        width: int = 1,
+        backend: str = "auto",
+        objective: str = "total",
+    ) -> None:
+        self.app = make_vmscope_app(image_w=image_w, image_h=image_h, tile=tile)
+        self.num_packets = num_packets
+        self.width = width
+        self.backend = backend
+        self.objective = objective
+        self._prepared: dict[str, tuple] = {}  # preset -> (workload, options)
+
+    def _prepare(self, preset: str):
+        from ..core.compiler import CompileOptions
+        from ..cost.environment import cluster_config
+
+        if preset not in QUERIES:
+            known = ", ".join(sorted(QUERIES))
+            raise ValueError(f"unknown vmscope query {preset!r}; presets: {known}")
+        if preset not in self._prepared:
+            workload = self.app.make_workload(
+                query=preset, num_packets=self.num_packets
+            )
+            options = CompileOptions(
+                env=cluster_config(self.width),
+                profile=workload.profile,
+                objective=self.objective,
+                size_hints=dict(self.app.size_hints),
+                runtime_classes={"VImage": workload.params["vimage_class"]},
+                method_costs=dict(self.app.method_costs),
+                backend=self.backend,
+            )
+            self._prepared[preset] = (workload, options)
+        return self._prepared[preset]
+
+    def plan(self, body):
+        from ..serve.requests import ServicePlan
+
+        preset = str(body.get("query", "large"))
+        workload, options = self._prepare(preset)
+        return ServicePlan(
+            service=self.name,
+            group_key=f"query={preset}",
+            source=self.app.source,
+            registry=self.app.registry,
+            options=options,
+            packets=workload.packets,
+            params=dict(workload.params),
+            extract=_vmscope_extract,
+        )
+
+
+def make_vmscope_service(**kwargs) -> VmscopeService:
+    return VmscopeService(**kwargs)
+
+
 def make_vmscope_app(
     image_w: int = 768, image_h: int = 768, tile: int = 64
 ) -> AppBundle:

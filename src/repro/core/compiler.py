@@ -16,7 +16,7 @@ experiment harness can interrogate any stage.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Protocol
 
 from ..analysis.boundaries import Boundary, FilterChain, build_filter_chain
 from ..analysis.gencons import GenConsAnalyzer
@@ -65,6 +65,11 @@ class CompileOptions:
     #: shape), "vector" (columnar NumPy, repro.codegen.vectorize), or
     #: "auto" (consult the REPRO_BACKEND environment variable)
     backend: str = "auto"
+
+    def replace(self, **changes: object) -> "CompileOptions":
+        import dataclasses
+
+        return dataclasses.replace(self, **changes)
 
 
 @dataclass(slots=True)
@@ -138,6 +143,26 @@ class CompilationResult:
         lines.append(f"  final: {self.volumes[-1]:,.0f}")
         lines.append(f"plan: {self.plan}  (cost {self.plan_cost:.6f}s)")
         return "\n".join(lines)
+
+
+class PlanCacheProtocol(Protocol):
+    """What :func:`compile_source` needs from a compilation cache.
+
+    The concrete implementation lives in :mod:`repro.serve.plancache`
+    (the compiler stays import-independent of the serving subsystem)."""
+
+    def key_for(
+        self,
+        source: str,
+        registry: IntrinsicRegistry | None,
+        options: CompileOptions,
+        plan: DecompositionPlan | None = None,
+        intrinsic_impls: dict[str, Callable] | None = None,
+    ) -> str: ...  # pragma: no cover - protocol
+
+    def get(self, key: str) -> "CompilationResult | None": ...  # pragma: no cover
+
+    def put(self, key: str, result: "CompilationResult") -> None: ...  # pragma: no cover
 
 
 def _pick_loop(checked: CheckedProgram, method: str | None):
@@ -237,11 +262,29 @@ def compile_source(
     options: CompileOptions | None = None,
     intrinsic_impls: dict[str, Callable] | None = None,
     plan: DecompositionPlan | None = None,
+    cache: "PlanCacheProtocol | None" = None,
 ) -> CompilationResult:
     """Full compilation.  ``plan`` overrides the DP decision (used for the
-    Default baselines and for ablations)."""
+    Default baselines and for ablations).
+
+    ``cache`` plugs in a compilation plan cache (duck-typed against
+    :class:`~repro.serve.plancache.PlanCache`): the key covers the source
+    text, the registry, every compile-relevant option (environment,
+    profile, objective, resolved codegen backend, ...) and the plan
+    override, so a hit skips parse→analysis→decompose→codegen entirely and
+    returns the previously built :class:`CompilationResult`.  Cached
+    results are shared — callers must not mutate them (executing one is
+    safe: ``pipeline.specs`` builds fresh filter instances per run)."""
     if options is None:
         raise ValueError("CompileOptions (with a PipelineEnv) are required")
+    key = None
+    if cache is not None:
+        key = cache.key_for(
+            source, registry, options, plan=plan, intrinsic_impls=intrinsic_impls
+        )
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
     checked, chain, comm = analyze_source(source, registry, options.method)
     tasks, vols, problem = compute_problem(chain, comm, options)
     if plan is None:
@@ -263,7 +306,7 @@ def compile_source(
         backend=resolve_backend(options.backend),
     )
     pipeline = FilterGenerator(chain, comm, plan, config).generate()
-    return CompilationResult(
+    result = CompilationResult(
         checked=checked,
         chain=chain,
         comm=comm,
@@ -275,3 +318,6 @@ def compile_source(
         pipeline=pipeline,
         options=options,
     )
+    if cache is not None and key is not None:
+        cache.put(key, result)
+    return result

@@ -101,6 +101,26 @@ class EngineOptions:
                 f"queue_capacity must be >= 1, got {self.queue_capacity} "
                 "(capacity 0 would silently disable backpressure)"
             )
+        if self.join_timeout <= 0:
+            # a non-positive join timeout declares every pipeline stuck on
+            # arrival (threaded) or fails the post-EOS handshake instantly
+            # (process) — never what the caller meant
+            raise ValueError(
+                f"join_timeout must be > 0, got {self.join_timeout}"
+            )
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(
+                f"timeout must be > 0 or None (no wall-clock cap), "
+                f"got {self.timeout}"
+            )
+        if self.death_grace < 0:
+            raise ValueError(
+                f"death_grace must be >= 0, got {self.death_grace}"
+            )
+        if self.shm_min_bytes < 0:
+            raise ValueError(
+                f"shm_min_bytes must be >= 0, got {self.shm_min_bytes}"
+            )
         if self.retry is not None and not isinstance(self.retry, RetryPolicy):
             raise TypeError(
                 f"retry must be a RetryPolicy or None, got {self.retry!r}"
@@ -219,3 +239,55 @@ def run_pipeline(
     return make_engine(
         specs, coerce_engine_options(options, legacy, stacklevel=3)
     ).run()
+
+
+class EngineSession:
+    """A warm engine reused across many units of work.
+
+    One-shot callers build an engine, run it, and drop it —
+    :func:`run_pipeline`.  A serving process instead runs thousands of
+    units of work under identical :class:`EngineOptions`, where per-run
+    option coercion and engine construction are pure overhead.  The
+    session constructs the engine once on first use and *rebinds* it to
+    each new spec list (``Engine.rebind``), keeping the engine-level
+    scaffolding — validated options, retry/fault plumbing, transport
+    configuration — warm across runs.  Engines that predate ``rebind``
+    (external registrations) are transparently rebuilt per run.
+
+    Not thread-safe: the serving dispatcher owns one session and feeds it
+    batches sequentially (pipeline-internal parallelism is the engine's
+    job, not the session's).
+    """
+
+    def __init__(self, options: EngineOptions | None = None) -> None:
+        self.options = options if options is not None else EngineOptions()
+        self._engine: Engine | None = None
+        #: units of work executed through this session
+        self.runs = 0
+
+    def run(self, specs: Sequence[FilterSpec]) -> RunResult:
+        """Execute one unit of work over ``specs`` on the warm engine."""
+        engine = self._engine
+        if engine is None:
+            engine = make_engine(specs, self.options)
+            self._engine = engine
+        else:
+            rebind = getattr(engine, "rebind", None)
+            if rebind is not None:
+                rebind(specs)
+            else:  # pragma: no cover - external engines without rebind
+                engine = make_engine(specs, self.options)
+                self._engine = engine
+        self.runs += 1
+        return engine.run()
+
+    def close(self) -> None:
+        """Drop the warm engine (both engines tear down their workers at
+        the end of each unit of work; this just releases the scaffolding)."""
+        self._engine = None
+
+    def __enter__(self) -> "EngineSession":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

@@ -82,6 +82,18 @@ class ProcessPipeline:
         self.faults = FaultPlan.coerce(faults)
         self.post_eos_timeout = post_eos_timeout
 
+    def rebind(self, specs: Sequence[FilterSpec]) -> None:
+        """Point the engine at a new placed pipeline for the next run.
+
+        Each ``run()`` forks fresh workers and edges, so a warm session
+        (:class:`~repro.datacutter.engine.EngineSession`) only needs the
+        spec list swapped to reuse the engine's validated configuration
+        across requests (worker persistence across units of work is a
+        ROADMAP item)."""
+        if not specs:
+            raise ValueError("pipeline needs at least one filter")
+        self.specs = list(specs)
+
     def run(self) -> RunResult:
         try:
             mpctx = multiprocessing.get_context("fork")

@@ -27,10 +27,11 @@ blocked time.  Exporters (JSON lines, Chrome ``trace_event``) live in
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import threading
 from dataclasses import dataclass
-from typing import Any, Iterable, Protocol, runtime_checkable
+from typing import Any, Iterable, Protocol, Sequence, runtime_checkable
 
 #: packet key that collects once-per-run init/finalize overhead when spans
 #: are folded into per-packet seconds; equals the codegen FINAL_PACKET so
@@ -39,8 +40,11 @@ OVERHEAD_PACKET = -2
 
 #: the four phases of the filter unit-of-work protocol, in order, plus
 #: "restart" — a recovery event marking the backoff-and-respawn of a
-#: failed filter copy (its duration covers backoff through respawn)
-PHASES = ("init", "generate", "process", "finalize", "restart")
+#: failed filter copy (its duration covers backoff through respawn) —
+#: and the serving-layer phases: "request" spans cover one client request
+#: from admission to response, "execute" spans one micro-batched pipeline
+#: execution (see repro.serve.metrics)
+PHASES = ("init", "generate", "process", "finalize", "restart", "request", "execute")
 
 #: a stream put()/get() slower than this is recorded as blocked time
 BLOCKED_MIN_SECONDS = 1e-3
@@ -228,6 +232,29 @@ class Trace:
 
     def busy_seconds(self, filter: str, copy: int | None = None) -> float:
         return sum(s.duration for s in self.spans_for(filter, copy))
+
+    def duration_percentiles(
+        self,
+        filter: str | None = None,
+        phase: str | None = None,
+        qs: Sequence[float] = (50.0, 95.0, 99.0),
+    ) -> dict[str, float]:
+        """Span-duration percentiles, e.g. ``{"p50": ..., "p95": ...}``.
+
+        The serving layer records one ``request`` span per client request
+        (admission to response), making latency percentiles a trace query
+        rather than bespoke bookkeeping.  Nearest-rank percentiles; empty
+        selections yield 0.0."""
+        durations = sorted(s.duration for s in self.spans_for(filter, None, phase))
+        out: dict[str, float] = {}
+        for q in qs:
+            label = f"p{q:g}"
+            if not durations:
+                out[label] = 0.0
+                continue
+            rank = max(0, min(len(durations) - 1, math.ceil(q / 100.0 * len(durations)) - 1))
+            out[label] = durations[rank]
+        return out
 
     def utilization(self) -> dict[str, Utilization]:
         """Per-copy busy/wall; wall spans first init start to last

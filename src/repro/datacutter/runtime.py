@@ -79,6 +79,17 @@ class ThreadedPipeline:
         self.retry = retry
         self.faults = FaultPlan.coerce(faults)
 
+    def rebind(self, specs: Sequence[FilterSpec]) -> None:
+        """Point the engine at a new placed pipeline for the next run.
+
+        ``run()`` builds streams and threads fresh each unit of work, so
+        swapping the spec list is all a warm session
+        (:class:`~repro.datacutter.engine.EngineSession`) needs to reuse
+        the validated engine scaffolding across requests."""
+        if not specs:
+            raise ValueError("pipeline needs at least one filter")
+        self.specs = list(specs)
+
     def run(self) -> RunResult:
         specs = self.specs
         trace = self.trace

@@ -1,0 +1,62 @@
+"""Pipeline-as-a-service: persistent serving over warm compiled pipelines.
+
+The one-shot drivers (``run``/``figures``/``chaos``) compile, execute,
+and tear down per invocation.  This subsystem keeps the expensive parts
+alive across requests — the shape a pipeline needs to serve heavy
+traffic:
+
+* :mod:`~repro.serve.plancache` — compilation results keyed by (source,
+  compile context, resolved backend, decomposition environment); a hit
+  skips parse→analysis→decompose→codegen entirely;
+* :mod:`~repro.serve.broker` — bounded admission queue (block /
+  reject-with-retry-after / shed-oldest) and micro-batch assembly under a
+  size/deadline budget;
+* :mod:`~repro.serve.session` — a warm engine reused across every
+  request (``EngineSession`` + ``Engine.rebind``), with per-batch
+  recovery via the engine's retry policy;
+* :mod:`~repro.serve.server` — the dispatcher tying it together, with
+  per-request deadlines and graceful drain;
+* :mod:`~repro.serve.metrics` — request-scoped ``obs`` spans: latency
+  percentiles, batch occupancy, queue depth, shed counts, exported
+  through the stock JSON-lines exporter and the ``stats`` request type;
+* :mod:`~repro.serve.client` — the in-process client used by tests, the
+  throughput benchmark, and ``python -m repro serve``.
+
+Request→packet adapters for the bundled applications live next to the
+apps themselves (``repro.apps.make_knn_service`` /
+``make_vmscope_service``).
+"""
+
+from .broker import AdmissionQueue
+from .client import LocalClient
+from .metrics import ServerMetrics
+from .plancache import CacheStats, PlanCache
+from .requests import (
+    STATS_KIND,
+    PendingResponse,
+    Request,
+    Response,
+    Service,
+    ServicePlan,
+)
+from .server import PipelineServer, ServerClosed, ServerOptions
+from .session import SessionPool, oneshot
+
+__all__ = [
+    "AdmissionQueue",
+    "CacheStats",
+    "LocalClient",
+    "PendingResponse",
+    "PipelineServer",
+    "PlanCache",
+    "Request",
+    "Response",
+    "STATS_KIND",
+    "ServerClosed",
+    "ServerMetrics",
+    "ServerOptions",
+    "Service",
+    "ServicePlan",
+    "SessionPool",
+    "oneshot",
+]

@@ -1,0 +1,80 @@
+"""The in-repo client: how tests, benchmarks, and the CLI talk to a server.
+
+:class:`LocalClient` speaks directly to a :class:`PipelineServer` in the
+same process — the transport is a function call, which keeps the serving
+semantics (admission, batching, deadlines, shedding) testable without a
+network stack.  A multi-host transport that serializes the same
+Request/Response types over a socket is a ROADMAP item; clients written
+against this surface will not change.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Iterable, Mapping, Sequence
+
+from .requests import STATS_KIND, PendingResponse, Response
+from .server import PipelineServer
+
+
+class LocalClient:
+    """Blocking + pipelined request helpers over one in-process server."""
+
+    def __init__(self, server: PipelineServer, timeout: float = 120.0) -> None:
+        self.server = server
+        self.timeout = timeout
+
+    # -- generic ------------------------------------------------------------
+    def submit(
+        self,
+        kind: str,
+        body: Mapping[str, Any] | None = None,
+        deadline: float | None = None,
+    ) -> PendingResponse:
+        """Fire one request without waiting (pipelined clients)."""
+        return self.server.submit(kind, body, deadline)
+
+    def call(
+        self,
+        kind: str,
+        body: Mapping[str, Any] | None = None,
+        deadline: float | None = None,
+    ) -> Response:
+        """Submit and wait for the response."""
+        return self.submit(kind, body, deadline).result(self.timeout)
+
+    def burst(
+        self,
+        requests: Iterable[tuple[str, Mapping[str, Any]]],
+        deadline: float | None = None,
+    ) -> list[Response]:
+        """Submit a whole burst before collecting any response — the
+        concurrency that gives the broker something to micro-batch."""
+        pending: Sequence[PendingResponse] = [
+            self.submit(kind, body, deadline) for kind, body in requests
+        ]
+        end = time.monotonic() + self.timeout
+        out: list[Response] = []
+        for p in pending:
+            remaining = max(end - time.monotonic(), 0.001)
+            out.append(p.result(remaining))
+        return out
+
+    # -- application conveniences -------------------------------------------
+    def knn(
+        self, x: float, y: float, z: float, deadline: float | None = None
+    ) -> Response:
+        """k nearest neighbours of the query point."""
+        return self.call("knn", {"x": x, "y": y, "z": z}, deadline)
+
+    def vmscope(self, query: str = "large", deadline: float | None = None) -> Response:
+        """One virtual-microscope region query (preset name)."""
+        return self.call("vmscope", {"query": query}, deadline)
+
+    def stats(self) -> dict[str, object]:
+        """The server's metrics snapshot (the ``stats`` request type)."""
+        response = self.call(STATS_KIND)
+        if not response.ok:  # pragma: no cover - stats never hits a pipeline
+            raise RuntimeError(f"stats request failed: {response.error}")
+        assert isinstance(response.value, dict)
+        return response.value

@@ -1,0 +1,157 @@
+"""The serving metrics surface, built on the existing ``obs`` spans.
+
+Rather than invent a metrics registry, the server feeds the same
+:class:`~repro.datacutter.obs.Trace` the engines feed:
+
+* one ``request`` span per client request — filter ``request.<kind>``,
+  packet = request id, admission to response — so latency percentiles are
+  a :meth:`Trace.duration_percentiles` query;
+* one ``execute`` span per micro-batched pipeline execution — filter
+  ``execute.<kind>`` — whose packet key is the execution sequence number;
+* queue-depth gauges on the synthetic ``serve.queue`` stream at every
+  admission/dispatch, and batch-occupancy gauges on ``serve.batch``;
+* counters (admitted / rejected / shed / expired / errors) in the trace
+  metadata.
+
+Everything therefore exports through the stock JSON-lines exporter
+(:func:`~repro.datacutter.obs.write_jsonl`) and round-trips through
+``read_jsonl`` — the `serve` CLI's ``-o`` artifact is an ordinary
+observability trace, and :meth:`ServerMetrics.snapshot` is the payload of
+the ``stats`` request type.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from ..datacutter.obs import Trace, write_jsonl
+from ..datacutter.obs.trace import QueueSample, Span
+
+#: synthetic stream names for the serving gauges
+QUEUE_STREAM = "serve.queue"
+BATCH_STREAM = "serve.batch"
+
+
+class ServerMetrics:
+    """Thread-safe serving telemetry over one :class:`Trace`."""
+
+    def __init__(self) -> None:
+        self.trace = Trace()
+        self.trace.note(role="serve")
+        self._lock = threading.Lock()
+        self.admitted = 0
+        self.rejected = 0
+        self.shed = 0
+        self.expired = 0
+        self.errors = 0
+        self.served = 0
+        self.executions = 0
+        self.cache_hits = 0
+        self._occupancy_sum = 0
+        self._batches = 0
+
+    # -- recording ----------------------------------------------------------
+    def record_admission(self, depth: int) -> None:
+        with self._lock:
+            self.admitted += 1
+        self.trace.record_queue(
+            QueueSample(QUEUE_STREAM, time.perf_counter(), depth, "put")
+        )
+
+    def record_rejected(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def record_shed(self) -> None:
+        with self._lock:
+            self.shed += 1
+
+    def record_expired(self) -> None:
+        with self._lock:
+            self.expired += 1
+
+    def record_error(self) -> None:
+        with self._lock:
+            self.errors += 1
+
+    def record_dispatch(self, depth: int, batch_size: int) -> None:
+        """One micro-batch left the queue."""
+        now = time.perf_counter()
+        self.trace.record_queue(QueueSample(QUEUE_STREAM, now, depth, "get"))
+        self.trace.record_queue(QueueSample(BATCH_STREAM, now, batch_size, "get"))
+        with self._lock:
+            self._occupancy_sum += batch_size
+            self._batches += 1
+
+    def record_execution(
+        self, kind: str, t0: float, t1: float, group_size: int, cache_hit: bool
+    ) -> int:
+        """One pipeline execution served ``group_size`` coalesced requests;
+        returns the execution sequence number."""
+        with self._lock:
+            self.executions += 1
+            if cache_hit:
+                self.cache_hits += 1
+            seq = self.executions
+        self.trace.record_span(Span(f"execute.{kind}", 0, "execute", seq, t0, t1))
+        return seq
+
+    def record_request(self, kind: str, request_id: int, t0: float, status: str) -> None:
+        """Terminal accounting of one request (span on the shared
+        perf_counter timeline; ``t0`` is the admission timestamp)."""
+        self.trace.record_span(
+            Span(f"request.{kind}", 0, "request", request_id, t0, time.perf_counter())
+        )
+        if status == "ok":
+            with self._lock:
+                self.served += 1
+
+    # -- queries ------------------------------------------------------------
+    def latency_percentiles(self, kind: str | None = None) -> dict[str, float]:
+        filter_name = f"request.{kind}" if kind is not None else None
+        if filter_name is None:
+            # percentile over every request span regardless of kind
+            durations = [
+                s for s in self.trace.spans if s.phase == "request"
+            ]
+            probe = Trace()
+            probe.merge(spans=durations)
+            return probe.duration_percentiles(phase="request")
+        return self.trace.duration_percentiles(filter=filter_name, phase="request")
+
+    def mean_batch_occupancy(self) -> float:
+        with self._lock:
+            return self._occupancy_sum / self._batches if self._batches else 0.0
+
+    def queue_depth_max(self) -> int:
+        return self.trace.max_depth(QUEUE_STREAM)
+
+    def snapshot(self) -> dict[str, object]:
+        """The ``stats`` response payload."""
+        with self._lock:
+            counters = {
+                "admitted": self.admitted,
+                "served": self.served,
+                "rejected": self.rejected,
+                "shed": self.shed,
+                "expired": self.expired,
+                "errors": self.errors,
+                "executions": self.executions,
+                "plan_cache_hits": self.cache_hits,
+                "batches": self._batches,
+            }
+        return {
+            **counters,
+            "batch_occupancy_mean": round(self.mean_batch_occupancy(), 3),
+            "queue_depth_max": self.queue_depth_max(),
+            "latency": {
+                k: round(v, 6) for k, v in self.latency_percentiles().items()
+            },
+        }
+
+    def write_jsonl(self, path: str) -> None:
+        """Export the full metrics trace as JSON lines (counters ride in
+        the trace metadata)."""
+        self.trace.note(**{f"serve.{k}": v for k, v in self.snapshot().items()})
+        write_jsonl(self.trace, path)

@@ -1,0 +1,149 @@
+"""Request/response types of the serving subsystem.
+
+A :class:`Request` is one client question ("the 3 nearest neighbours of
+this point", "this region of the slide at this subsampling"); the broker
+admits it, the dispatcher batches it, a warm pipeline answers it, and the
+client reads the :class:`Response` off the request's
+:class:`PendingResponse` future.
+
+A *service* (one per application kind, see ``make_knn_service`` /
+``make_vmscope_service`` in :mod:`repro.apps`) translates a request body
+into a :class:`ServicePlan` — the request→packet adapter: which program
+to compile (plan-cache key material), which packets to stream, which
+runtime parameters carry the request, and how to extract the response
+value from the pipeline's final payloads.  Requests whose plans share a
+``group_key`` are *compatible*: the dispatcher executes the pipeline once
+for the whole group and demultiplexes the result to every member.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Protocol, Sequence, runtime_checkable
+
+from ..core.compiler import CompileOptions
+from ..lang.intrinsics import IntrinsicRegistry
+
+#: request kind reserved for the metrics surface (answered by the server
+#: itself, never by a pipeline)
+STATS_KIND = "stats"
+
+#: terminal response statuses
+STATUSES = (
+    "ok",          # served; ``value`` holds the answer
+    "rejected",    # admission control refused it (queue full, policy "reject")
+    "shed",        # load shedding dropped it (policy "shed-oldest")
+    "expired",     # its deadline passed before execution
+    "error",       # the pipeline raised; ``error`` carries the message
+    "shutdown",    # the server stopped before serving it
+)
+
+_request_ids = itertools.count(1)
+
+
+@dataclass(slots=True)
+class Request:
+    """One client request, stamped at admission."""
+
+    kind: str
+    body: Mapping[str, Any] = field(default_factory=dict)
+    #: absolute ``time.monotonic()`` deadline; None = no deadline
+    deadline: float | None = None
+    id: int = field(default_factory=lambda: next(_request_ids))
+    #: admission timestamp (monotonic), set by the server
+    t_submit: float = field(default_factory=time.monotonic)
+
+    def expired(self, now: float | None = None) -> bool:
+        if self.deadline is None:
+            return False
+        return (now if now is not None else time.monotonic()) > self.deadline
+
+
+@dataclass(slots=True)
+class Response:
+    """The answer to one request, with its serving telemetry."""
+
+    id: int
+    kind: str
+    status: str
+    value: Any = None
+    error: str | None = None
+    #: seconds from admission to response
+    latency: float = 0.0
+    #: seconds the serving execution took (0 for non-"ok" responses)
+    service_seconds: float = 0.0
+    #: how many requests shared this response's pipeline execution
+    group_size: int = 0
+    #: how many requests rode in the same dispatch batch
+    batch_size: int = 0
+    #: whether the compilation came from the plan cache
+    cache_hit: bool = False
+    #: suggested client backoff when status == "rejected"
+    retry_after: float | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+class PendingResponse:
+    """A minimal future: the client-side handle of an in-flight request."""
+
+    def __init__(self, request: Request) -> None:
+        self.request = request
+        self._event = threading.Event()
+        self._response: Response | None = None
+
+    def resolve(self, response: Response) -> None:
+        """Deliver the response (server side; idempotent — first wins)."""
+        if self._response is None:
+            self._response = response
+            self._event.set()
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> Response:
+        """Block until the response arrives."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"request {self.request.id} ({self.request.kind}) still "
+                f"in flight after {timeout}s"
+            )
+        assert self._response is not None
+        return self._response
+
+
+@dataclass(slots=True)
+class ServicePlan:
+    """Everything needed to answer one request through a pipeline.
+
+    ``group_key`` is the compatibility identity: requests whose plans
+    carry equal keys are answered by one pipeline execution (the compile
+    inputs and run parameters must then be identical — the adapters
+    guarantee it by deriving the key from the same canonical values the
+    plan is built from)."""
+
+    service: str
+    group_key: str
+    source: str
+    registry: IntrinsicRegistry | None
+    options: CompileOptions
+    packets: Sequence[Any]
+    params: dict[str, Any]
+    #: final-stage payloads -> the response value
+    extract: Callable[[list[Any]], Any]
+    widths: Sequence[int] | None = None
+
+
+@runtime_checkable
+class Service(Protocol):
+    """A request→packet adapter for one application kind."""
+
+    name: str
+
+    def plan(self, body: Mapping[str, Any]) -> ServicePlan:  # pragma: no cover
+        ...

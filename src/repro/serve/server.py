@@ -1,0 +1,372 @@
+"""The pipeline server: compile once, keep it warm, multiplex requests.
+
+:class:`PipelineServer` turns the one-shot compiler driver into a
+long-running service.  Lifecycle::
+
+    server = PipelineServer([make_knn_service(), make_vmscope_service()],
+                            ServerOptions(admission="reject", max_batch=16))
+    server.start()
+    pending = server.submit("knn", {"x": 0.2, "y": 0.4, "z": 0.6})
+    response = pending.result(timeout=30)
+    server.stop()          # graceful drain, then shutdown
+
+One dispatcher thread pulls micro-batches off the
+:class:`~repro.serve.broker.AdmissionQueue`, groups compatible requests
+(equal :class:`~repro.serve.requests.ServicePlan` ``group_key``) into
+single pipeline executions on the warm
+:class:`~repro.serve.session.SessionPool`, and demultiplexes each
+execution's result to every member request's future.  ``stats`` requests
+are answered from :class:`~repro.serve.metrics.ServerMetrics` without
+touching a pipeline.
+
+Admission control, load shedding, per-request deadlines, and graceful
+drain are the server's job; retry-on-fault inside an execution is the
+engine's (``ServerOptions.engine_options.retry`` applies per batch).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from ..datacutter.engine import EngineOptions
+from .broker import AdmissionQueue
+from .metrics import ServerMetrics
+from .plancache import PlanCache
+from .requests import (
+    STATS_KIND,
+    PendingResponse,
+    Request,
+    Response,
+    Service,
+    ServicePlan,
+)
+from .session import SessionPool
+
+
+@dataclass(slots=True)
+class ServerOptions:
+    """Everything that configures one server, alongside EngineOptions."""
+
+    #: run configuration for every pipeline execution (engine choice,
+    #: retry policy, queue capacities, ...)
+    engine_options: EngineOptions = field(default_factory=EngineOptions)
+    #: bound of the admission queue (pending requests)
+    max_queue: int = 64
+    #: full-queue policy: "block" | "reject" | "shed-oldest"
+    admission: str = "block"
+    #: cap on how long a blocked submitter waits (None = forever)
+    block_timeout: float | None = None
+    #: micro-batch budget: at most this many requests per dispatch
+    max_batch: int = 16
+    #: seconds the batcher waits for followers after the first request
+    batch_deadline: float = 0.005
+    #: default per-request deadline (seconds from admission; None = none)
+    default_deadline: float | None = None
+    #: seconds stop(drain=True) lets the dispatcher finish queued work
+    drain_timeout: float = 30.0
+    #: LRU capacity of the compilation plan cache
+    plan_cache_capacity: int = 64
+
+    def __post_init__(self) -> None:
+        if self.max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {self.max_queue}")
+        if self.admission not in AdmissionQueue.POLICIES:
+            raise ValueError(
+                f"unknown admission policy {self.admission!r}; choose from "
+                f"{AdmissionQueue.POLICIES}"
+            )
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.batch_deadline < 0:
+            raise ValueError(
+                f"batch_deadline must be >= 0, got {self.batch_deadline}"
+            )
+        if self.default_deadline is not None and self.default_deadline <= 0:
+            raise ValueError(
+                f"default_deadline must be > 0 or None, got {self.default_deadline}"
+            )
+        if self.drain_timeout < 0:
+            raise ValueError(
+                f"drain_timeout must be >= 0, got {self.drain_timeout}"
+            )
+        if self.plan_cache_capacity < 1:
+            raise ValueError(
+                f"plan_cache_capacity must be >= 1, got {self.plan_cache_capacity}"
+            )
+
+    def replace(self, **changes: Any) -> "ServerOptions":
+        import dataclasses
+
+        return dataclasses.replace(self, **changes)
+
+
+class ServerClosed(RuntimeError):
+    """Submitted to a server that is not accepting requests."""
+
+
+class PipelineServer:
+    """A persistent serving front-end over warm compiled pipelines."""
+
+    def __init__(
+        self,
+        services: Sequence[Service],
+        options: ServerOptions | None = None,
+    ) -> None:
+        self.options = options if options is not None else ServerOptions()
+        self.services: dict[str, Service] = {}
+        for service in services:
+            if service.name in self.services or service.name == STATS_KIND:
+                raise ValueError(f"duplicate or reserved service {service.name!r}")
+            self.services[service.name] = service
+        self.metrics = ServerMetrics()
+        self.cache = PlanCache(self.options.plan_cache_capacity)
+        self.pool = SessionPool(self.options.engine_options, self.cache)
+        self.queue = AdmissionQueue(
+            capacity=self.options.max_queue,
+            policy=self.options.admission,
+            block_timeout=self.options.block_timeout,
+        )
+        self._dispatcher: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._draining = False
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> "PipelineServer":
+        if self._dispatcher is not None:
+            raise RuntimeError("server already started")
+        self.metrics.trace.note(
+            engine=self.options.engine_options.engine,
+            services=sorted(self.services),
+        )
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="serve-dispatcher", daemon=True
+        )
+        self._dispatcher.start()
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        """Shut down: close admissions, optionally drain queued work.
+
+        With ``drain=True`` (the default) the dispatcher keeps serving
+        already-admitted requests for up to ``drain_timeout`` seconds;
+        anything still pending afterwards — or everything, with
+        ``drain=False`` — resolves with status ``"shutdown"``."""
+        if self._dispatcher is None:
+            return
+        self._draining = drain
+        self.queue.close()
+        if not drain:
+            self._stop.set()
+        self._dispatcher.join(
+            timeout=self.options.drain_timeout if drain else 5.0
+        )
+        self._stop.set()
+        if self._dispatcher.is_alive():  # drain timed out; force the exit
+            self._dispatcher.join(timeout=5.0)
+        self._dispatcher = None
+        for pending in self.queue.drain():
+            self._finish(pending, status="shutdown", error="server stopped")
+        self.pool.close()
+
+    @property
+    def running(self) -> bool:
+        return self._dispatcher is not None and self._dispatcher.is_alive()
+
+    def __enter__(self) -> "PipelineServer":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    # -- client surface ------------------------------------------------------
+    def submit(
+        self,
+        kind: str,
+        body: Mapping[str, Any] | None = None,
+        deadline: float | None = None,
+    ) -> PendingResponse:
+        """Admit one request; returns its future.
+
+        ``deadline`` is seconds from now (falling back to
+        ``ServerOptions.default_deadline``).  Admission-control outcomes
+        (rejected / shed) resolve the future immediately with the
+        corresponding status — ``submit`` itself only raises for unknown
+        kinds or a stopped server."""
+        if kind != STATS_KIND and kind not in self.services:
+            known = ", ".join(sorted(self.services))
+            raise ValueError(f"unknown request kind {kind!r}; services: {known}")
+        if self._dispatcher is None or self.queue.closed:
+            raise ServerClosed("server is not accepting requests")
+        rel = deadline if deadline is not None else self.options.default_deadline
+        request = Request(
+            kind=kind,
+            body=dict(body or {}),
+            deadline=time.monotonic() + rel if rel is not None else None,
+        )
+        pending = PendingResponse(request)
+        admitted, shed, retry_after = self.queue.offer(pending)
+        for victim in shed:
+            self.metrics.record_shed()
+            self._finish(
+                victim,
+                status="shed",
+                error="load shed: queue full, shed-oldest policy",
+            )
+        if not admitted:
+            self.metrics.record_rejected()
+            self._finish(
+                pending,
+                status="rejected",
+                error="admission queue full",
+                retry_after=retry_after,
+            )
+            return pending
+        self.metrics.record_admission(len(self.queue))
+        return pending
+
+    def request(
+        self,
+        kind: str,
+        body: Mapping[str, Any] | None = None,
+        deadline: float | None = None,
+        timeout: float | None = 60.0,
+    ) -> Response:
+        """Synchronous convenience: submit and wait."""
+        return self.submit(kind, body, deadline).result(timeout)
+
+    # -- dispatcher ----------------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        while not self._stop.is_set():
+            batch = self.queue.collect_batch(
+                self.options.max_batch, self.options.batch_deadline
+            )
+            if not batch:
+                if self.queue.closed and len(self.queue) == 0:
+                    return  # graceful drain complete
+                continue
+            self.metrics.record_dispatch(len(self.queue), len(batch))
+            try:
+                self._run_batch(batch)
+            except Exception:  # noqa: BLE001 - keep serving
+                # a dispatcher bug must not wedge every in-flight client
+                detail = traceback.format_exc()
+                for pending in batch:
+                    if not pending.done():
+                        self.metrics.record_error()
+                        self._finish(pending, status="error", error=detail)
+
+    def _run_batch(self, batch: list[PendingResponse]) -> None:
+        """Serve one micro-batch: group compatible requests, execute each
+        group once, demultiplex."""
+        groups: dict[str, list[PendingResponse]] = {}
+        plans: dict[str, ServicePlan] = {}
+        now = time.monotonic()
+        for pending in batch:
+            request = pending.request
+            if request.expired(now):
+                self.metrics.record_expired()
+                self._finish(
+                    pending, status="expired", error="deadline exceeded in queue"
+                )
+                continue
+            if request.kind == STATS_KIND:
+                self._finish(
+                    pending,
+                    status="ok",
+                    value=self.stats(),
+                    batch_size=len(batch),
+                    group_size=1,
+                )
+                continue
+            try:
+                plan = self.services[request.kind].plan(request.body)
+            except Exception:  # noqa: BLE001 - bad request body
+                self.metrics.record_error()
+                self._finish(pending, status="error", error=traceback.format_exc())
+                continue
+            key = f"{request.kind}/{plan.group_key}"
+            groups.setdefault(key, []).append(pending)
+            plans[key] = plan
+
+        for key, members in groups.items():
+            plan = plans[key]
+            t0 = time.perf_counter()
+            try:
+                run, cache_hit = self.pool.execute(plan)
+                value = plan.extract(run.payloads)
+            except Exception:  # noqa: BLE001 - per-group failure isolation
+                detail = traceback.format_exc()
+                for pending in members:
+                    self.metrics.record_error()
+                    self._finish(pending, status="error", error=detail)
+                continue
+            t1 = time.perf_counter()
+            self.metrics.record_execution(
+                plan.service, t0, t1, len(members), cache_hit
+            )
+            self.queue.observe_service_time(
+                (t1 - t0) / max(len(members), 1)
+            )
+            for pending in members:
+                self._finish(
+                    pending,
+                    status="ok",
+                    value=value,
+                    service_seconds=t1 - t0,
+                    group_size=len(members),
+                    batch_size=len(batch),
+                    cache_hit=cache_hit,
+                )
+
+    # -- helpers -------------------------------------------------------------
+    def _finish(
+        self,
+        pending: PendingResponse,
+        status: str,
+        value: Any = None,
+        error: str | None = None,
+        service_seconds: float = 0.0,
+        group_size: int = 0,
+        batch_size: int = 0,
+        cache_hit: bool = False,
+        retry_after: float | None = None,
+    ) -> None:
+        request = pending.request
+        latency = time.monotonic() - request.t_submit
+        self.metrics.record_request(
+            request.kind,
+            request.id,
+            time.perf_counter() - latency,
+            status,
+        )
+        pending.resolve(
+            Response(
+                id=request.id,
+                kind=request.kind,
+                status=status,
+                value=value,
+                error=error,
+                latency=latency,
+                service_seconds=service_seconds,
+                group_size=group_size,
+                batch_size=batch_size,
+                cache_hit=cache_hit,
+                retry_after=retry_after,
+            )
+        )
+
+    def stats(self) -> dict[str, object]:
+        """The ``stats`` payload: serving counters, percentiles, cache."""
+        snapshot = self.metrics.snapshot()
+        snapshot["plan_cache"] = {
+            "entries": len(self.cache),
+            **self.cache.stats.as_dict(),
+        }
+        snapshot["queue_depth"] = len(self.queue)
+        snapshot["engine"] = self.options.engine_options.engine
+        snapshot["engine_runs"] = self.pool.session.runs
+        return snapshot

@@ -180,3 +180,32 @@ def test_chaos_rejects_unknown_filter(capsys):
     code = main(["chaos", "knn", "--filter", "nope"])
     assert code == 2
     assert "no filter named 'nope'" in capsys.readouterr().out
+
+
+def test_serve_burst_verifies_and_exports_metrics(tmp_path, capsys):
+    out_path = tmp_path / "serve.jsonl"
+    code = main(
+        [
+            "serve",
+            "--requests",
+            "16",
+            "--max-batch",
+            "16",
+            "--verify",
+            "-o",
+            str(out_path),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "requests: 16  ok: 16  failed: 0" in out
+    assert "verify vs one-shot" in out and "OK" in out
+    trace = read_jsonl(str(out_path))
+    assert trace.meta["role"] == "serve"
+    assert {s.phase for s in trace.spans} >= {"request", "execute"}
+
+
+def test_serve_rejects_bad_mix(capsys):
+    code = main(["serve", "--requests", "4", "--mix", "bogus=1"])
+    assert code == 2
+    assert "unknown kinds" in capsys.readouterr().out
