@@ -16,6 +16,13 @@ ratio.  The >=5x floor is enforced on local / EXPERIMENTS.md runs; on CI
 floor for shared-runner noise.  The JSON report always records the
 measured numbers against the 5x target.
 
+A third mode measures the **socket transport**: the identical burst
+through a :class:`RemoteClient` over a loopback connection — the serving
+wins (plan cache, warm engine, coalescing) must survive framing, value
+encoding, and two thread hops per request.  Socket responses are
+verified byte-identical to the one-shot baselines too, and the
+socket-vs-one-shot ratio carries its own floor (>=4x local, >=2x on CI).
+
 Run standalone with
 ``PYTHONPATH=src python benchmarks/bench_serve_throughput.py [out.json]``
 (writes a JSON report for the CI artifact) or via pytest.  Results are
@@ -32,13 +39,17 @@ import time
 import pytest
 
 from repro.apps import make_knn_service, make_vmscope_service
-from repro.serve import LocalClient, PipelineServer, ServerOptions
+from repro.serve import LocalClient, PipelineServer, RemoteClient, ServerOptions
 from repro.serve.session import oneshot
 
 EXPECTED_SPEEDUP = 5.0
 #: shared CI runners add enough wall-clock noise that the real floor can
 #: fail without a regression; CI asserts this advisory floor instead
 CI_FLOOR = 2.0
+#: loopback-socket serving vs one-shot: framing + two thread hops per
+#: request cost some of the LocalClient speedup, but never the multiple
+SOCKET_EXPECTED_SPEEDUP = 4.0
+SOCKET_CI_FLOOR = 2.0
 
 N_REQUESTS = 60
 #: distinct request bodies in the burst (coalescing + cache-hit fodder)
@@ -48,6 +59,10 @@ VM_PRESETS = ("small", "large")
 
 def enforced_floor() -> float:
     return CI_FLOOR if os.environ.get("CI") else EXPECTED_SPEEDUP
+
+
+def enforced_socket_floor() -> float:
+    return SOCKET_CI_FLOOR if os.environ.get("CI") else SOCKET_EXPECTED_SPEEDUP
 
 
 def make_services():
@@ -87,14 +102,22 @@ def measure() -> dict:
         serve_wall = time.perf_counter() - t0
         stats = client.stats()
 
-    assert all(r.ok for r in responses), [
-        (r.status, r.error) for r in responses if not r.ok
-    ][:1]
-    for response, expect in zip(responses, oneshot_values):
-        assert response.value.tobytes() == expect.tobytes(), (
-            f"served response #{response.id} ({response.kind}) diverged "
-            "from its one-shot baseline"
-        )
+        # -- socket path: same burst, same warm server, over loopback ------
+        with RemoteClient(server.listen(), timeout=600.0) as remote:
+            t0 = time.perf_counter()
+            socket_responses = remote.burst(requests)
+            socket_wall = time.perf_counter() - t0
+            socket_stats = remote.stats()
+
+    for label, batch in (("served", responses), ("socket", socket_responses)):
+        assert all(r.ok for r in batch), [
+            (r.status, r.error) for r in batch if not r.ok
+        ][:1]
+        for response, expect in zip(batch, oneshot_values):
+            assert response.value.tobytes() == expect.tobytes(), (
+                f"{label} response #{response.id} ({response.kind}) diverged "
+                "from its one-shot baseline"
+            )
 
     return {
         "requests": len(requests),
@@ -109,11 +132,22 @@ def measure() -> dict:
         "batch_occupancy_mean": stats["batch_occupancy_mean"],
         "shed": stats["shed"],
         "latency_s": stats["latency"],
+        "socket_wall_s": round(socket_wall, 4),
+        "socket_req_per_s": round(len(requests) / socket_wall, 2),
+        "socket_speedup": round(oneshot_wall / socket_wall, 2),
+        "socket_frames_in": socket_stats["transport"]["frames_in"],
+        "socket_bytes_in": socket_stats["transport"]["bytes_in"],
+        "socket_bytes_out": socket_stats["transport"]["bytes_out"],
     }
 
 
-def test_serve_throughput_speedup():
-    row = measure()
+@pytest.fixture(scope="module")
+def measured() -> dict:
+    return measure()
+
+
+def test_serve_throughput_speedup(measured):
+    row = measured
     print(
         f"\nserve {row['serve_req_per_s']:.1f} req/s vs one-shot "
         f"{row['oneshot_req_per_s']:.1f} req/s: {row['throughput_speedup']:.1f}x "
@@ -122,20 +156,34 @@ def test_serve_throughput_speedup():
     assert row["throughput_speedup"] >= enforced_floor(), row
 
 
+def test_socket_throughput_speedup(measured):
+    row = measured
+    print(
+        f"\nsocket {row['socket_req_per_s']:.1f} req/s vs one-shot "
+        f"{row['oneshot_req_per_s']:.1f} req/s: {row['socket_speedup']:.1f}x "
+        f"({row['socket_bytes_out']} bytes served over loopback)"
+    )
+    assert row["socket_speedup"] >= enforced_socket_floor(), row
+
+
 if __name__ == "__main__":  # pragma: no cover - exercised via CI artifact
     out_path = sys.argv[1] if len(sys.argv) > 1 else "serve_throughput.json"
     floor = enforced_floor()
+    socket_floor = enforced_socket_floor()
     row = measure()
     report = {
         "expected_min_speedup": EXPECTED_SPEEDUP,
         "enforced_floor": floor,
+        "socket_expected_min_speedup": SOCKET_EXPECTED_SPEEDUP,
+        "socket_enforced_floor": socket_floor,
         **row,
     }
     print(
         f"{'path':<10} {'wall':>8} {'req/s':>8}\n"
         f"{'one-shot':<10} {row['oneshot_wall_s']:>7.2f}s {row['oneshot_req_per_s']:>8.1f}\n"
         f"{'serve':<10} {row['serve_wall_s']:>7.2f}s {row['serve_req_per_s']:>8.1f}\n"
-        f"speedup {row['throughput_speedup']:.1f}x  "
+        f"{'socket':<10} {row['socket_wall_s']:>7.2f}s {row['socket_req_per_s']:>8.1f}\n"
+        f"speedup {row['throughput_speedup']:.1f}x (socket {row['socket_speedup']:.1f}x)  "
         f"executions {row['executions']}/{row['requests']}  "
         f"occupancy {row['batch_occupancy_mean']:.1f}  "
         f"p50/p95/p99 {row['latency_s']['p50'] * 1e3:.0f}/"
@@ -147,4 +195,7 @@ if __name__ == "__main__":  # pragma: no cover - exercised via CI artifact
     print(f"wrote {out_path}")
     if report["throughput_speedup"] < floor:
         print(f"FAIL: throughput speedup below {floor}x")
+        sys.exit(1)
+    if report["socket_speedup"] < socket_floor:
+        print(f"FAIL: socket throughput speedup below {socket_floor}x")
         sys.exit(1)

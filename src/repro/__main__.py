@@ -26,7 +26,10 @@ Commands:
   burst of knn + vmscope requests through it, and print serving metrics;
   ``--verify`` additionally checks every response byte-identical to a
   fresh one-shot compile+execute, and ``-o`` exports the request-scoped
-  trace as JSON lines.
+  trace as JSON lines.  Multi-host mode: ``--listen host:port`` serves
+  remote clients over the socket transport (same admission/batching/
+  plan-cache path), ``--connect host:port`` pushes the burst through a
+  ``RemoteClient`` instead of an in-process server.
 * ``apps`` — list the bundled evaluation applications.
 
 Intrinsic implementations cannot be supplied from the command line, so
@@ -303,47 +306,128 @@ def _mixed_burst(count: int, mix: str, seed: int) -> list:
     return requests
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
-    import time
-
+def _serve_services(args: argparse.Namespace) -> list:
+    """The CLI's fixed service set — deterministic, so a ``--connect``
+    client can rebuild the same adapters for ``--verify`` baselines."""
     from .apps import make_knn_service, make_vmscope_service
-    from .datacutter import EngineOptions
-    from .serve import LocalClient, PipelineServer, ServerOptions
-    from .serve.session import oneshot
 
-    if args.requests < 1:
-        print("serve: --requests must be >= 1")
-        return 2
-    services = [
+    return [
         make_knn_service(n_points=4_000, num_packets=4, backend=args.backend),
         make_vmscope_service(
             image_w=128, image_h=128, tile=32, num_packets=4, backend=args.backend
         ),
     ]
+
+
+def _cmd_serve_listen(args: argparse.Namespace) -> int:
+    """``serve --listen host:port``: a long-running multi-host server."""
+    import signal
+    import threading
+
+    from .datacutter import EngineOptions
+    from .serve import PipelineServer, ServerOptions
+    from .serve.transport import parse_address
+
+    try:
+        host, port = parse_address(args.listen)
+    except ValueError as exc:
+        print(f"serve: {exc}")
+        return 2
     options = ServerOptions(
         engine_options=EngineOptions(engine=args.engine),
         max_queue=args.queue,
         admission=args.policy,
         max_batch=args.max_batch,
         batch_deadline=args.batch_deadline,
+        max_frame_bytes=args.max_frame,
     )
+    server = PipelineServer(_serve_services(args), options)
+    stop = threading.Event()
+    previous = signal.signal(signal.SIGTERM, lambda *_: stop.set())
+    try:
+        with server:
+            host, port = server.listen(host, port)
+            print(f"pipeline server on the {args.engine} engine", flush=True)
+            print(f"listening on {host}:{port}", flush=True)
+            try:
+                stop.wait(timeout=args.duration)  # None = until signalled
+            except KeyboardInterrupt:
+                pass
+            stats = server.stats()
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+    print(
+        f"served: {stats['served']}  executions: {stats['executions']}  "
+        f"connections: {stats['transport']['connections_opened']}  "
+        f"decode errors: {stats['transport']['decode_errors']}"
+    )
+    if args.out:
+        server.metrics.write_jsonl(args.out)
+        print(f"metrics written to {args.out} (JSON lines)")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import time
+
+    from .datacutter import EngineOptions
+    from .serve import LocalClient, PipelineServer, RemoteClient, ServerOptions
+    from .serve.session import oneshot
+
+    if args.listen and args.connect:
+        print("serve: --listen and --connect are mutually exclusive")
+        return 2
+    if args.listen:
+        return _cmd_serve_listen(args)
+    if args.requests < 1:
+        print("serve: --requests must be >= 1")
+        return 2
+    services = _serve_services(args)
     try:
         requests = _mixed_burst(args.requests, args.mix, args.seed)
     except ValueError as exc:
         print(f"serve: {exc}")
         return 2
 
-    server = PipelineServer(services, options)
-    with server:
+    server = None
+    if args.connect:
+        # remote mode: the server (same service set) runs elsewhere,
+        # started with ``serve --listen host:port``
+        try:
+            client = RemoteClient(args.connect, timeout=600.0)
+        except (OSError, ValueError) as exc:
+            print(f"serve: cannot connect to {args.connect}: {exc}")
+            return 2
+    else:
+        options = ServerOptions(
+            engine_options=EngineOptions(engine=args.engine),
+            max_queue=args.queue,
+            admission=args.policy,
+            max_batch=args.max_batch,
+            batch_deadline=args.batch_deadline,
+            max_frame_bytes=args.max_frame,
+        )
+        server = PipelineServer(services, options).start()
         client = LocalClient(server, timeout=600.0)
-        t0 = time.perf_counter()
-        responses = client.burst(requests)
-        wall = time.perf_counter() - t0
-        stats = client.stats()
+
+    try:
+        with client:
+            t0 = time.perf_counter()
+            responses = client.burst(requests)
+            wall = time.perf_counter() - t0
+            stats = client.stats()
+    finally:
+        if server is not None:
+            server.stop()
 
     ok = [r for r in responses if r.ok]
     failed = [r for r in responses if not r.ok]
-    print(f"pipeline server on the {args.engine} engine")
+    where = (
+        f"remote server at {args.connect}"
+        if args.connect
+        else f"pipeline server on the {args.engine} engine"
+    )
+    print(where)
     print(f"  requests: {len(responses)}  ok: {len(ok)}  failed: {len(failed)}")
     print(f"  wall time: {wall:.3f}s  throughput: {len(ok) / wall:.1f} req/s")
     print(
@@ -356,10 +440,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"  latency p50/p95/p99: "
         f"{lat['p50'] * 1e3:.1f} / {lat['p95'] * 1e3:.1f} / {lat['p99'] * 1e3:.1f} ms"
     )
+    if args.connect:
+        wire = stats["transport"]
+        print(
+            f"  wire: {wire['frames_in']} frames in / {wire['frames_out']} out  "
+            f"{wire['bytes_in']:,} B in / {wire['bytes_out']:,} B out  "
+            f"decode errors: {wire['decode_errors']}"
+        )
     for response in failed:
         print(f"  FAILED #{response.id} {response.kind}: {response.status}")
 
-    if args.out:
+    if args.out and server is not None:
         server.metrics.write_jsonl(args.out)
         print(f"  metrics written to {args.out} (JSON lines)")
 
@@ -367,7 +458,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 1
     if args.verify:
         # one fresh one-shot compile+execute per distinct request body;
-        # every served response must be byte-identical to it
+        # every served response must be byte-identical to it.  In
+        # --connect mode the baselines are computed locally from the same
+        # deterministic service set the listener was started with.
         baselines: dict[str, object] = {}
         mismatches = 0
         by_kind = {s.name: s for s in services}
@@ -615,6 +708,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve = sub.add_parser(
         "serve",
         help="start a pipeline server and push a mixed request burst through it",
+    )
+    p_serve.add_argument(
+        "--listen",
+        metavar="HOST:PORT",
+        default=None,
+        help="serve remote clients over the socket transport instead of "
+        "pushing a local burst (port 0 picks a free port; runs until "
+        "--duration elapses or SIGINT/SIGTERM)",
+    )
+    p_serve.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        default=None,
+        help="push the burst through a RemoteClient against a server "
+        "started elsewhere with --listen",
+    )
+    p_serve.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="seconds a --listen server stays up (default: until signalled)",
+    )
+    p_serve.add_argument(
+        "--max-frame",
+        type=int,
+        default=64 * 1024 * 1024,
+        help="wire-frame size cap in bytes (default 64 MiB); oversized "
+        "frames get a structured error response",
     )
     p_serve.add_argument(
         "--engine",

@@ -16,7 +16,11 @@ experiment harness can interrogate any stage.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Protocol
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - the runtime dependency points the
+    # other way (serve imports the compiler); this is typing only
+    from ..serve.plancache import PlanCacheProtocol
 
 from ..analysis.boundaries import Boundary, FilterChain, build_filter_chain
 from ..analysis.gencons import GenConsAnalyzer
@@ -145,26 +149,6 @@ class CompilationResult:
         return "\n".join(lines)
 
 
-class PlanCacheProtocol(Protocol):
-    """What :func:`compile_source` needs from a compilation cache.
-
-    The concrete implementation lives in :mod:`repro.serve.plancache`
-    (the compiler stays import-independent of the serving subsystem)."""
-
-    def key_for(
-        self,
-        source: str,
-        registry: IntrinsicRegistry | None,
-        options: CompileOptions,
-        plan: DecompositionPlan | None = None,
-        intrinsic_impls: dict[str, Callable] | None = None,
-    ) -> str: ...  # pragma: no cover - protocol
-
-    def get(self, key: str) -> "CompilationResult | None": ...  # pragma: no cover
-
-    def put(self, key: str, result: "CompilationResult") -> None: ...  # pragma: no cover
-
-
 def _pick_loop(checked: CheckedProgram, method: str | None):
     loops = checked.pipelined_loops()
     if not loops:
@@ -267,7 +251,9 @@ def compile_source(
     """Full compilation.  ``plan`` overrides the DP decision (used for the
     Default baselines and for ablations).
 
-    ``cache`` plugs in a compilation plan cache (duck-typed against
+    ``cache`` plugs in a compilation plan cache — anything satisfying the
+    exported :class:`~repro.serve.plancache.PlanCacheProtocol`
+    (``key_for`` / ``get`` / ``put``; the stock implementation is
     :class:`~repro.serve.plancache.PlanCache`): the key covers the source
     text, the registry, every compile-relevant option (environment,
     profile, objective, resolved codegen backend, ...) and the plan

@@ -7,7 +7,8 @@ traffic:
 
 * :mod:`~repro.serve.plancache` — compilation results keyed by (source,
   compile context, resolved backend, decomposition environment); a hit
-  skips parse→analysis→decompose→codegen entirely;
+  skips parse→analysis→decompose→codegen entirely; the exported
+  :class:`PlanCacheProtocol` is the ``compile_source(cache=)`` contract;
 * :mod:`~repro.serve.broker` — bounded admission queue (block /
   reject-with-retry-after / shed-oldest) and micro-batch assembly under a
   size/deadline budget;
@@ -16,11 +17,19 @@ traffic:
   recovery via the engine's retry policy;
 * :mod:`~repro.serve.server` — the dispatcher tying it together, with
   per-request deadlines and graceful drain;
+* :mod:`~repro.serve.transport` — the multi-host path: a length-prefixed,
+  versioned wire protocol (framed JSON + binary payload segments) over
+  TCP, with a listener that feeds decoded requests into the *same*
+  admission → micro-batch → plan-cache → warm-engine path local calls
+  take;
 * :mod:`~repro.serve.metrics` — request-scoped ``obs`` spans: latency
-  percentiles, batch occupancy, queue depth, shed counts, exported
-  through the stock JSON-lines exporter and the ``stats`` request type;
-* :mod:`~repro.serve.client` — the in-process client used by tests, the
-  throughput benchmark, and ``python -m repro serve``.
+  percentiles, batch occupancy, queue depth, connection gauges, wire
+  decode-error counters, exported through the stock JSON-lines exporter
+  and the ``stats`` request type;
+* :mod:`~repro.serve.client` — the :class:`Client` protocol and its two
+  transports: :class:`LocalClient` (in-process function call) and
+  :class:`RemoteClient` (socket), mirror images used interchangeably by
+  tests, the throughput benchmark, and ``python -m repro serve``.
 
 Request→packet adapters for the bundled applications live next to the
 apps themselves (``repro.apps.make_knn_service`` /
@@ -28,35 +37,47 @@ apps themselves (``repro.apps.make_knn_service`` /
 """
 
 from .broker import AdmissionQueue
-from .client import LocalClient
+from .client import BaseClient, Client, LocalClient, RemoteClient
 from .metrics import ServerMetrics
-from .plancache import CacheStats, PlanCache
+from .plancache import CacheStats, PlanCache, PlanCacheProtocol
 from .requests import (
+    SCHEMA_VERSION,
     STATS_KIND,
     PendingResponse,
     Request,
     Response,
+    SchemaVersionError,
     Service,
     ServicePlan,
+    WireFormatError,
 )
 from .server import PipelineServer, ServerClosed, ServerOptions
 from .session import SessionPool, oneshot
+from .transport import TransportListener
 
 __all__ = [
     "AdmissionQueue",
+    "BaseClient",
     "CacheStats",
+    "Client",
     "LocalClient",
     "PendingResponse",
     "PipelineServer",
     "PlanCache",
+    "PlanCacheProtocol",
+    "RemoteClient",
     "Request",
     "Response",
+    "SCHEMA_VERSION",
     "STATS_KIND",
+    "SchemaVersionError",
     "ServerClosed",
     "ServerMetrics",
     "ServerOptions",
     "Service",
     "ServicePlan",
     "SessionPool",
+    "TransportListener",
+    "WireFormatError",
     "oneshot",
 ]

@@ -1,39 +1,105 @@
-"""The in-repo client: how tests, benchmarks, and the CLI talk to a server.
+"""The client surface: one protocol, two transports.
 
-:class:`LocalClient` speaks directly to a :class:`PipelineServer` in the
-same process — the transport is a function call, which keeps the serving
-semantics (admission, batching, deadlines, shedding) testable without a
-network stack.  A multi-host transport that serializes the same
-Request/Response types over a socket is a ROADMAP item; clients written
-against this surface will not change.
+:class:`Client` is the contract every way of talking to a
+:class:`~repro.serve.server.PipelineServer` satisfies — ``submit`` /
+``call`` / ``burst`` / ``stats`` / ``drain`` / ``close`` plus
+context-manager lifecycle.  Two implementations ship:
+
+* :class:`LocalClient` — the transport is a function call into an
+  in-process server; keeps the serving semantics (admission, batching,
+  deadlines, shedding) testable without a network stack.
+* :class:`RemoteClient` — the same surface over one TCP connection
+  (:mod:`repro.serve.transport`), for clients on other hosts.  Requests
+  are encoded with :meth:`Request.to_wire`, correlated by client-side
+  id, and resolved by a reader thread; the server end feeds the exact
+  same admission → micro-batch → plan-cache → warm-engine path as a
+  local call.
+
+Code written against :class:`Client` runs unchanged on either — the
+conformance suite in ``tests/test_transport.py`` executes the same tests
+against both via a fixture parameter.
 """
 
 from __future__ import annotations
 
+import socket
+import threading
 import time
-from typing import Any, Iterable, Mapping, Sequence
+from typing import Any, Iterable, Mapping, Protocol, runtime_checkable
 
-from .requests import STATS_KIND, PendingResponse, Response
-from .server import PipelineServer
+from .requests import (
+    STATS_KIND,
+    PendingResponse,
+    Request,
+    Response,
+    SchemaVersionError,
+    WireFormatError,
+)
+from .server import PipelineServer, ServerClosed
 
 
-class LocalClient:
-    """Blocking + pipelined request helpers over one in-process server."""
+@runtime_checkable
+class Client(Protocol):
+    """What it means to be a serving client, regardless of transport."""
 
-    def __init__(self, server: PipelineServer, timeout: float = 120.0) -> None:
-        self.server = server
+    def submit(
+        self,
+        kind: str,
+        body: Mapping[str, Any] | None = None,
+        deadline: float | None = None,
+    ) -> PendingResponse:  # pragma: no cover - protocol
+        ...
+
+    def call(
+        self,
+        kind: str,
+        body: Mapping[str, Any] | None = None,
+        deadline: float | None = None,
+    ) -> Response:  # pragma: no cover - protocol
+        ...
+
+    def stats(self) -> dict[str, object]:  # pragma: no cover - protocol
+        ...
+
+    def drain(self, timeout: float | None = None) -> list[Response]:
+        ...  # pragma: no cover - protocol
+
+    def close(self) -> None:  # pragma: no cover - protocol
+        ...
+
+    def __enter__(self) -> "Client":  # pragma: no cover - protocol
+        ...
+
+    def __exit__(self, *exc: Any) -> None:  # pragma: no cover - protocol
+        ...
+
+
+class BaseClient:
+    """Everything a client is *except* how a request reaches the server.
+
+    Subclasses implement :meth:`submit` (returning a
+    :class:`PendingResponse` and registering it via :meth:`_track`) and
+    optionally :meth:`close`; the blocking/pipelined helpers, outstanding
+    bookkeeping, and context-manager lifecycle are shared."""
+
+    def __init__(self, timeout: float = 120.0) -> None:
         self.timeout = timeout
+        self._outstanding: list[PendingResponse] = []
+        self._track_lock = threading.Lock()
 
-    # -- generic ------------------------------------------------------------
+    # -- transport hooks -----------------------------------------------------
     def submit(
         self,
         kind: str,
         body: Mapping[str, Any] | None = None,
         deadline: float | None = None,
     ) -> PendingResponse:
-        """Fire one request without waiting (pipelined clients)."""
-        return self.server.submit(kind, body, deadline)
+        raise NotImplementedError
 
+    def close(self) -> None:
+        """Release the transport (no-op for in-process clients)."""
+
+    # -- shared surface ------------------------------------------------------
     def call(
         self,
         kind: str,
@@ -50,15 +116,23 @@ class LocalClient:
     ) -> list[Response]:
         """Submit a whole burst before collecting any response — the
         concurrency that gives the broker something to micro-batch."""
-        pending: Sequence[PendingResponse] = [
-            self.submit(kind, body, deadline) for kind, body in requests
-        ]
+        pending = [self.submit(kind, body, deadline) for kind, body in requests]
         end = time.monotonic() + self.timeout
         out: list[Response] = []
         for p in pending:
             remaining = max(end - time.monotonic(), 0.001)
             out.append(p.result(remaining))
         return out
+
+    def drain(self, timeout: float | None = None) -> list[Response]:
+        """Wait for every outstanding submitted request; returns their
+        responses (in submission order) and forgets them."""
+        with self._track_lock:
+            pending, self._outstanding = self._outstanding, []
+        end = time.monotonic() + (timeout if timeout is not None else self.timeout)
+        return [
+            p.result(max(end - time.monotonic(), 0.001)) for p in pending
+        ]
 
     # -- application conveniences -------------------------------------------
     def knn(
@@ -74,7 +148,190 @@ class LocalClient:
     def stats(self) -> dict[str, object]:
         """The server's metrics snapshot (the ``stats`` request type)."""
         response = self.call(STATS_KIND)
-        if not response.ok:  # pragma: no cover - stats never hits a pipeline
+        if not response.ok:
             raise RuntimeError(f"stats request failed: {response.error}")
         assert isinstance(response.value, dict)
         return response.value
+
+    # -- bookkeeping / lifecycle ---------------------------------------------
+    def _track(self, pending: PendingResponse) -> PendingResponse:
+        with self._track_lock:
+            # resolved futures cost nothing to keep briefly; prune lazily
+            self._outstanding = [p for p in self._outstanding if not p.done()]
+            self._outstanding.append(pending)
+        return pending
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class LocalClient(BaseClient):
+    """Blocking + pipelined request helpers over one in-process server."""
+
+    def __init__(self, server: PipelineServer, timeout: float = 120.0) -> None:
+        super().__init__(timeout)
+        self.server = server
+
+    def submit(
+        self,
+        kind: str,
+        body: Mapping[str, Any] | None = None,
+        deadline: float | None = None,
+    ) -> PendingResponse:
+        """Fire one request without waiting (pipelined clients)."""
+        return self._track(self.server.submit(kind, body, deadline))
+
+
+class RemoteClient(BaseClient):
+    """``LocalClient``'s surface over a socket, call for call.
+
+    Connects to a :class:`~repro.serve.transport.TransportListener`,
+    reads the server's hello (service names, frame cap), and correlates
+    responses to in-flight requests by client-side request id.  Unknown
+    request kinds fail fast locally, exactly like ``LocalClient``;
+    admission rejections come back as ordinary ``status="rejected"``
+    responses with their ``retry_after`` hint."""
+
+    def __init__(
+        self,
+        address: str | tuple[str, int],
+        timeout: float = 120.0,
+        connect_timeout: float = 10.0,
+    ) -> None:
+        super().__init__(timeout)
+        from .transport import (
+            DEFAULT_MAX_FRAME,
+            T_HELLO,
+            parse_address,
+            read_frame,
+        )
+
+        self.address = parse_address(address)
+        self._sock = socket.create_connection(self.address, timeout=connect_timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._rfile = self._sock.makefile("rb")
+        self._wlock = threading.Lock()
+        self._pending: dict[int, PendingResponse] = {}
+        self._plock = threading.Lock()
+        self._closed = False
+        try:
+            hello = read_frame(self._rfile, DEFAULT_MAX_FRAME)
+        except (OSError, RuntimeError, ValueError):
+            self._sock.close()
+            raise
+        if hello is None or hello[0] != T_HELLO:
+            self._sock.close()
+            raise ConnectionError(
+                f"no server hello from {self.address[0]}:{self.address[1]} "
+                "(is a TransportListener on that port?)"
+            )
+        _ftype, header, _segments, _nbytes = hello
+        self.services: tuple[str, ...] = tuple(header.get("services", ()))
+        self.max_frame: int = int(header.get("max_frame", DEFAULT_MAX_FRAME))
+        self._sock.settimeout(None)  # the reader thread blocks indefinitely
+        self._reader = threading.Thread(
+            target=self._read_loop, name="serve-remote-reader", daemon=True
+        )
+        self._reader.start()
+
+    # -- submission ----------------------------------------------------------
+    def submit(
+        self,
+        kind: str,
+        body: Mapping[str, Any] | None = None,
+        deadline: float | None = None,
+    ) -> PendingResponse:
+        """Fire one request without waiting (pipelined clients)."""
+        from .transport import T_REQUEST, write_frame
+
+        if self.services and kind not in self.services:
+            known = ", ".join(sorted(set(self.services) - {STATS_KIND}))
+            raise ValueError(f"unknown request kind {kind!r}; services: {known}")
+        if self._closed:
+            raise ServerClosed("remote connection is closed")
+        request = Request(
+            kind=kind,
+            body=dict(body or {}),
+            deadline=time.monotonic() + deadline if deadline is not None else None,
+        )
+        pending = PendingResponse(request)
+        with self._plock:
+            self._pending[request.id] = pending
+        header, segments = request.to_wire()
+        try:
+            write_frame(self._sock, T_REQUEST, header, segments, lock=self._wlock)
+        except OSError as exc:
+            with self._plock:
+                self._pending.pop(request.id, None)
+            self._fail_outstanding(f"connection lost: {exc}")
+            raise ServerClosed(f"remote connection lost: {exc}") from exc
+        return self._track(pending)
+
+    # -- response plumbing ---------------------------------------------------
+    def _read_loop(self) -> None:
+        from .transport import T_ERROR, T_RESPONSE, read_frame
+
+        reason = "connection closed by server"
+        while True:
+            try:
+                frame = read_frame(self._rfile, self.max_frame)
+            except (ConnectionError, OSError, RuntimeError, ValueError) as exc:
+                reason = f"transport failure: {exc}"
+                break
+            if frame is None:
+                break
+            ftype, header, segments, _nbytes = frame
+            if ftype not in (T_RESPONSE, T_ERROR):
+                continue
+            try:
+                response = Response.from_wire(header, segments)
+            except (SchemaVersionError, WireFormatError) as exc:
+                reason = f"undecodable response: {exc}"
+                break
+            cid = header.get("cid")
+            if cid is None:
+                # wire-level error the server couldn't attribute: fail
+                # everything in flight with its message
+                self._fail_outstanding(response.error or "transport error")
+                continue
+            with self._plock:
+                pending = self._pending.pop(cid, None)
+            if pending is not None:
+                pending.resolve(response)
+        self._fail_outstanding(reason)
+
+    def _fail_outstanding(self, reason: str) -> None:
+        with self._plock:
+            stranded = list(self._pending.values())
+            self._pending.clear()
+        for pending in stranded:
+            pending.resolve(
+                Response(
+                    id=pending.request.id,
+                    kind=pending.request.kind,
+                    status="error",
+                    error=reason,
+                    latency=time.monotonic() - pending.request.t_submit,
+                )
+            )
+
+    # -- lifecycle -----------------------------------------------------------
+    def close(self) -> None:
+        """Close this connection (the server keeps serving others)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - double close
+            pass
+        if self._reader.is_alive():
+            self._reader.join(timeout=5.0)
+        self._fail_outstanding("client closed")

@@ -10,6 +10,10 @@ Rather than invent a metrics registry, the server feeds the same
   ``execute.<kind>`` — whose packet key is the execution sequence number;
 * queue-depth gauges on the synthetic ``serve.queue`` stream at every
   admission/dispatch, and batch-occupancy gauges on ``serve.batch``;
+* live-connection gauges on ``serve.connections`` at every socket
+  accept/close, plus transport counters (connections, frames and bytes
+  in/out, decode errors, mid-stream disconnects) fed by
+  :mod:`repro.serve.transport`;
 * counters (admitted / rejected / shed / expired / errors) in the trace
   metadata.
 
@@ -31,6 +35,7 @@ from ..datacutter.obs.trace import QueueSample, Span
 #: synthetic stream names for the serving gauges
 QUEUE_STREAM = "serve.queue"
 BATCH_STREAM = "serve.batch"
+CONN_STREAM = "serve.connections"
 
 
 class ServerMetrics:
@@ -50,6 +55,16 @@ class ServerMetrics:
         self.cache_hits = 0
         self._occupancy_sum = 0
         self._batches = 0
+        # transport counters (socket connections and wire frames)
+        self.connections_opened = 0
+        self.connections_closed = 0
+        self.connections_active = 0
+        self.frames_in = 0
+        self.frames_out = 0
+        self.bytes_in = 0
+        self.bytes_out = 0
+        self.decode_errors = 0
+        self.disconnects = 0
 
     # -- recording ----------------------------------------------------------
     def record_admission(self, depth: int) -> None:
@@ -97,6 +112,46 @@ class ServerMetrics:
         self.trace.record_span(Span(f"execute.{kind}", 0, "execute", seq, t0, t1))
         return seq
 
+    # -- transport ----------------------------------------------------------
+    def record_connection_open(self, active: int) -> None:
+        with self._lock:
+            self.connections_opened += 1
+            self.connections_active = active
+        self.trace.record_queue(
+            QueueSample(CONN_STREAM, time.perf_counter(), active, "put")
+        )
+
+    def record_connection_close(self, active: int) -> None:
+        with self._lock:
+            self.connections_closed += 1
+            self.connections_active = active
+        self.trace.record_queue(
+            QueueSample(CONN_STREAM, time.perf_counter(), active, "get")
+        )
+
+    def record_frame_in(self, nbytes: int) -> None:
+        with self._lock:
+            self.frames_in += 1
+            self.bytes_in += nbytes
+
+    def record_frame_out(self, nbytes: int) -> None:
+        with self._lock:
+            self.frames_out += 1
+            self.bytes_out += nbytes
+
+    def record_decode_error(self) -> None:
+        """A frame that could not be decoded (oversized, garbage, bad
+        JSON, unknown schema) — the connection's problem, not a serving
+        error."""
+        with self._lock:
+            self.decode_errors += 1
+
+    def record_disconnect(self) -> None:
+        """A client vanished mid-stream (EOF inside a frame or a broken
+        pipe while responses were still owed)."""
+        with self._lock:
+            self.disconnects += 1
+
     def record_request(self, kind: str, request_id: int, t0: float, status: str) -> None:
         """Terminal accounting of one request (span on the shared
         perf_counter timeline; ``t0`` is the admission timestamp)."""
@@ -141,8 +196,20 @@ class ServerMetrics:
                 "plan_cache_hits": self.cache_hits,
                 "batches": self._batches,
             }
+            transport = {
+                "connections_opened": self.connections_opened,
+                "connections_closed": self.connections_closed,
+                "connections_active": self.connections_active,
+                "frames_in": self.frames_in,
+                "frames_out": self.frames_out,
+                "bytes_in": self.bytes_in,
+                "bytes_out": self.bytes_out,
+                "decode_errors": self.decode_errors,
+                "disconnects": self.disconnects,
+            }
         return {
             **counters,
+            "transport": transport,
             "batch_occupancy_mean": round(self.mean_batch_occupancy(), 3),
             "queue_depth_max": self.queue_depth_max(),
             "latency": {

@@ -37,12 +37,40 @@ import dataclasses
 import hashlib
 import threading
 from collections import OrderedDict
-from typing import Any, Callable
+from typing import Any, Callable, Protocol, runtime_checkable
 
 from ..codegen.vectorize import resolve_backend
 from ..core.compiler import CompilationResult, CompileOptions, compile_source
 from ..decompose.plan import DecompositionPlan
 from ..lang.intrinsics import IntrinsicRegistry
+
+
+@runtime_checkable
+class PlanCacheProtocol(Protocol):
+    """What :func:`repro.core.compiler.compile_source` needs from a
+    compilation cache (its ``cache=`` hook).
+
+    :class:`PlanCache` below is the stock implementation; anything with
+    the same three methods — a disk-spilling cache, a distributed one, a
+    recording stub in tests — plugs in the same way.  The compiler
+    itself stays import-independent of the serving subsystem and only
+    references this protocol from its docstrings."""
+
+    def key_for(
+        self,
+        source: str,
+        registry: IntrinsicRegistry | None,
+        options: CompileOptions,
+        plan: DecompositionPlan | None = None,
+        intrinsic_impls: dict[str, Callable] | None = None,
+    ) -> str:  # pragma: no cover - protocol
+        ...
+
+    def get(self, key: str) -> CompilationResult | None:  # pragma: no cover
+        ...
+
+    def put(self, key: str, result: CompilationResult) -> None:  # pragma: no cover
+        ...
 
 #: CompileOptions fields that configure *execution*, not compilation —
 #: excluded from the key so one cached pipeline serves any engine
@@ -147,9 +175,10 @@ class CacheStats:
 class PlanCache:
     """Thread-safe LRU cache of :class:`CompilationResult` objects.
 
-    Implements the duck-typed hook :func:`repro.core.compiler.compile_source`
-    accepts (``key_for`` / ``get`` / ``put``); :meth:`compile` is the
-    convenience wrapper the serving subsystem uses."""
+    The stock :class:`PlanCacheProtocol` implementation — the hook
+    :func:`repro.core.compiler.compile_source` accepts as ``cache=``
+    (``key_for`` / ``get`` / ``put``); :meth:`compile` is the convenience
+    wrapper the serving subsystem uses."""
 
     def __init__(self, capacity: int = 64) -> None:
         if capacity < 1:

@@ -14,6 +14,16 @@ runtime parameters carry the request, and how to extract the response
 value from the pipeline's final payloads.  Requests whose plans share a
 ``group_key`` are *compatible*: the dispatcher executes the pipeline once
 for the whole group and demultiplexes the result to every member.
+
+Both types know their own **wire encoding** (:meth:`Request.to_wire` /
+:meth:`Request.from_wire` and the Response pair): a JSON-safe header
+dict plus a list of opaque binary segments holding bulk payloads
+(ndarrays, bytes) — framing and transmission live in
+:mod:`repro.serve.transport`, but *what* goes on the wire is defined
+here, next to the types, under an explicit :data:`SCHEMA_VERSION`.
+Decoding a frame from a future (or corrupted) schema raises
+:class:`SchemaVersionError`, which the transport maps to a structured
+error response rather than a dead connection.
 """
 
 from __future__ import annotations
@@ -23,6 +33,8 @@ import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Protocol, Sequence, runtime_checkable
+
+import numpy as np
 
 from ..core.compiler import CompileOptions
 from ..lang.intrinsics import IntrinsicRegistry
@@ -43,6 +55,112 @@ STATUSES = (
 
 _request_ids = itertools.count(1)
 
+#: version of the Request/Response wire schema; bump on any change to the
+#: header layout or the value-encoding markers below
+SCHEMA_VERSION = 1
+
+
+class WireFormatError(ValueError):
+    """A wire header or value that cannot be encoded/decoded."""
+
+
+class SchemaVersionError(WireFormatError):
+    """A wire header stamped with a schema version this build can't read."""
+
+
+def encode_value(value: Any, segments: list[bytes]) -> Any:
+    """JSON-safe form of one payload value; bulk bytes go to ``segments``.
+
+    Markers (single-key dicts) carry everything JSON can't: ndarrays and
+    bytes become binary segments referenced by index, dicts become
+    ``__map__`` pair lists (keys survive non-string and nothing collides
+    with the markers), tuples/sets keep their type, non-finite floats
+    ride as strings.  Anything else is refused loudly — the wire carries
+    data, not pickled code."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            return {"__float__": repr(value)}
+        return value
+    if isinstance(value, np.ndarray):
+        arr = np.ascontiguousarray(value)
+        segments.append(arr.tobytes())
+        return {
+            "__ndarray__": {
+                "dtype": arr.dtype.str,
+                "shape": list(arr.shape),
+                "segment": len(segments) - 1,
+            }
+        }
+    if isinstance(value, np.generic):
+        return encode_value(np.asarray(value), segments) | {"__scalar__": True}
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        segments.append(bytes(value))
+        return {"__bytes__": len(segments) - 1}
+    if isinstance(value, dict):
+        return {
+            "__map__": [
+                [encode_value(k, segments), encode_value(v, segments)]
+                for k, v in value.items()
+            ]
+        }
+    if isinstance(value, tuple):
+        return {"__tuple__": [encode_value(v, segments) for v in value]}
+    if isinstance(value, (set, frozenset)):
+        return {"__set__": [encode_value(v, segments) for v in sorted(value, key=repr)]}
+    if isinstance(value, list):
+        return [encode_value(v, segments) for v in value]
+    raise WireFormatError(
+        f"cannot encode {type(value).__name__} for the wire "
+        "(supported: None/bool/int/float/str/bytes/list/tuple/set/dict/ndarray)"
+    )
+
+
+def decode_value(obj: Any, segments: Sequence[bytes]) -> Any:
+    """Inverse of :func:`encode_value`."""
+    if isinstance(obj, list):
+        return [decode_value(v, segments) for v in obj]
+    if not isinstance(obj, dict):
+        return obj
+    try:
+        if "__float__" in obj:
+            return float(obj["__float__"])
+        if "__ndarray__" in obj:
+            spec = obj["__ndarray__"]
+            seg = segments[spec["segment"]]
+            arr = np.frombuffer(seg, dtype=np.dtype(spec["dtype"]))
+            arr = arr.reshape(spec["shape"]).copy()  # writable, owns its data
+            return arr[()] if obj.get("__scalar__") else arr
+        if "__bytes__" in obj:
+            return segments[obj["__bytes__"]]
+        if "__map__" in obj:
+            return {
+                _hashable(decode_value(k, segments)): decode_value(v, segments)
+                for k, v in obj["__map__"]
+            }
+        if "__tuple__" in obj:
+            return tuple(decode_value(v, segments) for v in obj["__tuple__"])
+        if "__set__" in obj:
+            return {_hashable(decode_value(v, segments)) for v in obj["__set__"]}
+    except (IndexError, KeyError, TypeError, ValueError) as exc:
+        raise WireFormatError(f"malformed wire value: {exc}") from None
+    raise WireFormatError(f"unknown wire marker in {sorted(obj)}")
+
+
+def _hashable(value: Any) -> Any:
+    """Decoded keys must hash; lists (the JSON carrier) become tuples."""
+    return tuple(value) if isinstance(value, list) else value
+
+
+def _require_schema(header: Mapping[str, Any]) -> None:
+    version = header.get("schema")
+    if version != SCHEMA_VERSION:
+        raise SchemaVersionError(
+            f"unsupported wire schema version {version!r} "
+            f"(this build speaks {SCHEMA_VERSION})"
+        )
+
 
 @dataclass(slots=True)
 class Request:
@@ -60,6 +178,54 @@ class Request:
         if self.deadline is None:
             return False
         return (now if now is not None else time.monotonic()) > self.deadline
+
+    # -- wire encoding ------------------------------------------------------
+    def to_wire(self) -> tuple[dict[str, Any], list[bytes]]:
+        """(JSON-safe header, binary segments) for one request frame.
+
+        Deadlines travel as *remaining seconds* — absolute ``monotonic``
+        timestamps are meaningless on another host; the receiving server
+        re-anchors them at decode time."""
+        segments: list[bytes] = []
+        remaining = None
+        if self.deadline is not None:
+            remaining = max(self.deadline - time.monotonic(), 0.0)
+        return (
+            {
+                "schema": SCHEMA_VERSION,
+                "id": self.id,
+                "kind": self.kind,
+                "body": encode_value(dict(self.body), segments),
+                "deadline": remaining,
+            },
+            segments,
+        )
+
+    @classmethod
+    def from_wire(
+        cls, header: Mapping[str, Any], segments: Sequence[bytes]
+    ) -> "Request":
+        """Rebuild a request from a decoded frame (fresh local id and
+        admission stamp; the sender's id is transport correlation state).
+
+        Raises :class:`SchemaVersionError` for frames from an unknown
+        schema, :class:`WireFormatError` for malformed ones."""
+        _require_schema(header)
+        try:
+            kind = header["kind"]
+            body = decode_value(header["body"], segments)
+            remaining = header.get("deadline")
+        except KeyError as exc:
+            raise WireFormatError(f"request header missing {exc}") from None
+        if not isinstance(kind, str) or not isinstance(body, dict):
+            raise WireFormatError("request kind must be str and body a mapping")
+        if remaining is not None and not isinstance(remaining, (int, float)):
+            raise WireFormatError("request deadline must be a number or null")
+        return cls(
+            kind=kind,
+            body=body,
+            deadline=time.monotonic() + remaining if remaining is not None else None,
+        )
 
 
 @dataclass(slots=True)
@@ -87,6 +253,50 @@ class Response:
     @property
     def ok(self) -> bool:
         return self.status == "ok"
+
+    # -- wire encoding ------------------------------------------------------
+    def to_wire(self) -> tuple[dict[str, Any], list[bytes]]:
+        """(JSON-safe header, binary segments) for one response frame."""
+        segments: list[bytes] = []
+        return (
+            {
+                "schema": SCHEMA_VERSION,
+                "id": self.id,
+                "kind": self.kind,
+                "status": self.status,
+                "value": encode_value(self.value, segments),
+                "error": self.error,
+                "latency": self.latency,
+                "service_seconds": self.service_seconds,
+                "group_size": self.group_size,
+                "batch_size": self.batch_size,
+                "cache_hit": self.cache_hit,
+                "retry_after": self.retry_after,
+            },
+            segments,
+        )
+
+    @classmethod
+    def from_wire(
+        cls, header: Mapping[str, Any], segments: Sequence[bytes]
+    ) -> "Response":
+        _require_schema(header)
+        try:
+            return cls(
+                id=header["id"],
+                kind=header["kind"],
+                status=header["status"],
+                value=decode_value(header["value"], segments),
+                error=header.get("error"),
+                latency=header.get("latency", 0.0),
+                service_seconds=header.get("service_seconds", 0.0),
+                group_size=header.get("group_size", 0),
+                batch_size=header.get("batch_size", 0),
+                cache_hit=bool(header.get("cache_hit", False)),
+                retry_after=header.get("retry_after"),
+            )
+        except KeyError as exc:
+            raise WireFormatError(f"response header missing {exc}") from None
 
 
 class PendingResponse:

@@ -70,6 +70,12 @@ class ServerOptions:
     drain_timeout: float = 30.0
     #: LRU capacity of the compilation plan cache
     plan_cache_capacity: int = 64
+    #: cap on one wire frame's variable part (header + binary segments);
+    #: oversized frames are discarded and answered with a structured error
+    max_frame_bytes: int = 64 * 1024 * 1024
+    #: per-connection bound on unanswered wire requests (flow control:
+    #: a full bound stops the connection's reader, TCP backpressures)
+    max_inflight: int = 64
 
     def __post_init__(self) -> None:
         if self.max_queue < 1:
@@ -96,6 +102,14 @@ class ServerOptions:
         if self.plan_cache_capacity < 1:
             raise ValueError(
                 f"plan_cache_capacity must be >= 1, got {self.plan_cache_capacity}"
+            )
+        if self.max_frame_bytes < 1024:
+            raise ValueError(
+                f"max_frame_bytes must be >= 1024, got {self.max_frame_bytes}"
+            )
+        if self.max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be >= 1, got {self.max_inflight}"
             )
 
     def replace(self, **changes: Any) -> "ServerOptions":
@@ -133,6 +147,7 @@ class PipelineServer:
         self._dispatcher: threading.Thread | None = None
         self._stop = threading.Event()
         self._draining = False
+        self._listener: Any = None
 
     # -- lifecycle ----------------------------------------------------------
     def start(self) -> "PipelineServer":
@@ -157,6 +172,11 @@ class PipelineServer:
         ``drain=False`` — resolves with status ``"shutdown"``."""
         if self._dispatcher is None:
             return
+        if self._listener is not None:
+            # stop remote admissions before local ones: no new frames
+            # race the drain
+            self._listener.close()
+            self._listener = None
         self._draining = drain
         self.queue.close()
         if not drain:
@@ -175,6 +195,30 @@ class PipelineServer:
     @property
     def running(self) -> bool:
         return self._dispatcher is not None and self._dispatcher.is_alive()
+
+    def listen(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_frame: int | None = None,
+        max_inflight: int | None = None,
+    ) -> tuple[str, int]:
+        """Open the socket transport: accept remote clients on
+        ``host:port`` (``port=0`` picks a free one) and feed their
+        requests into the same admission queue local clients use.
+        Returns the bound ``(host, port)``; ``stop()`` closes it."""
+        from .transport import TransportListener
+
+        if self._dispatcher is None:
+            raise RuntimeError("start() the server before listen()")
+        if self._listener is not None:
+            raise RuntimeError(f"already listening on {self._listener.address}")
+        self._listener = TransportListener(
+            self, host, port, max_frame=max_frame, max_inflight=max_inflight
+        ).start()
+        self.metrics.trace.note(listen="%s:%s" % self._listener.address)
+        return self._listener.address
 
     def __enter__(self) -> "PipelineServer":
         return self.start()
@@ -196,17 +240,33 @@ class PipelineServer:
         (rejected / shed) resolve the future immediately with the
         corresponding status — ``submit`` itself only raises for unknown
         kinds or a stopped server."""
-        if kind != STATS_KIND and kind not in self.services:
+        rel = deadline if deadline is not None else self.options.default_deadline
+        return self.submit_request(
+            Request(
+                kind=kind,
+                body=dict(body or {}),
+                deadline=time.monotonic() + rel if rel is not None else None,
+            )
+        )
+
+    def submit_request(self, request: Request) -> PendingResponse:
+        """Admit one already-built :class:`Request` — the single entry
+        point shared by local calls and the socket transport (a decoded
+        wire frame lands here, not on a parallel code path)."""
+        if request.kind != STATS_KIND and request.kind not in self.services:
             known = ", ".join(sorted(self.services))
-            raise ValueError(f"unknown request kind {kind!r}; services: {known}")
+            raise ValueError(
+                f"unknown request kind {request.kind!r}; services: {known}"
+            )
         if self._dispatcher is None or self.queue.closed:
             raise ServerClosed("server is not accepting requests")
-        rel = deadline if deadline is not None else self.options.default_deadline
-        request = Request(
-            kind=kind,
-            body=dict(body or {}),
-            deadline=time.monotonic() + rel if rel is not None else None,
-        )
+        if (
+            request.deadline is None
+            and self.options.default_deadline is not None
+        ):
+            request.deadline = (
+                request.t_submit + self.options.default_deadline
+            )
         pending = PendingResponse(request)
         admitted, shed, retry_after = self.queue.offer(pending)
         for victim in shed:
@@ -369,4 +429,6 @@ class PipelineServer:
         snapshot["queue_depth"] = len(self.queue)
         snapshot["engine"] = self.options.engine_options.engine
         snapshot["engine_runs"] = self.pool.session.runs
+        if self._listener is not None:
+            snapshot["transport"]["listen"] = "%s:%s" % self._listener.address
         return snapshot
