@@ -245,7 +245,7 @@ class RemoteClient(BaseClient):
         deadline: float | None = None,
     ) -> PendingResponse:
         """Fire one request without waiting (pipelined clients)."""
-        from .transport import T_REQUEST, write_frame
+        from .transport import T_REQUEST, encode_frame, frame_overhead
 
         if self.services and kind not in self.services:
             known = ", ".join(sorted(set(self.services) - {STATS_KIND}))
@@ -257,12 +257,23 @@ class RemoteClient(BaseClient):
             body=dict(body or {}),
             deadline=time.monotonic() + deadline if deadline is not None else None,
         )
+        header, segments = request.to_wire()
+        frame = encode_frame(T_REQUEST, header, segments)
+        # fail oversized requests locally: server-side FrameTooLarge comes
+        # back with cid=None, which would spuriously fail every other
+        # request in flight on this connection
+        payload = len(frame) - frame_overhead(len(segments))
+        if payload > self.max_frame:
+            raise WireFormatError(
+                f"request payload of {payload} bytes exceeds the server's "
+                f"{self.max_frame}-byte frame cap"
+            )
         pending = PendingResponse(request)
         with self._plock:
             self._pending[request.id] = pending
-        header, segments = request.to_wire()
         try:
-            write_frame(self._sock, T_REQUEST, header, segments, lock=self._wlock)
+            with self._wlock:
+                self._sock.sendall(frame)
         except OSError as exc:
             with self._plock:
                 self._pending.pop(request.id, None)

@@ -128,12 +128,12 @@ def decode_value(obj: Any, segments: Sequence[bytes]) -> Any:
             return float(obj["__float__"])
         if "__ndarray__" in obj:
             spec = obj["__ndarray__"]
-            seg = segments[spec["segment"]]
+            seg = _segment(segments, spec["segment"])
             arr = np.frombuffer(seg, dtype=np.dtype(spec["dtype"]))
             arr = arr.reshape(spec["shape"]).copy()  # writable, owns its data
             return arr[()] if obj.get("__scalar__") else arr
         if "__bytes__" in obj:
-            return segments[obj["__bytes__"]]
+            return _segment(segments, obj["__bytes__"])
         if "__map__" in obj:
             return {
                 _hashable(decode_value(k, segments)): decode_value(v, segments)
@@ -146,6 +146,21 @@ def decode_value(obj: Any, segments: Sequence[bytes]) -> Any:
     except (IndexError, KeyError, TypeError, ValueError) as exc:
         raise WireFormatError(f"malformed wire value: {exc}") from None
     raise WireFormatError(f"unknown wire marker in {sorted(obj)}")
+
+
+def _segment(segments: Sequence[bytes], index: Any) -> bytes:
+    """Bounds-checked segment lookup: a marker must reference a segment by
+    a non-negative in-range int — negative indices would silently alias
+    from the end, letting a malformed frame decode to the wrong payload."""
+    if (
+        not isinstance(index, int)
+        or isinstance(index, bool)
+        or not 0 <= index < len(segments)
+    ):
+        raise WireFormatError(
+            f"bad segment index {index!r} (frame has {len(segments)} segments)"
+        )
+    return segments[index]
 
 
 def _hashable(value: Any) -> Any:

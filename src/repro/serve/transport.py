@@ -132,6 +132,13 @@ def encode_frame(
     return b"".join(parts)
 
 
+def frame_overhead(nseg: int) -> int:
+    """Fixed bytes a frame wraps around its variable part; ``len(frame) -
+    frame_overhead(nseg)`` is the size :func:`read_frame` checks against
+    ``max_frame`` (senders use this to pre-check against the peer's cap)."""
+    return _FIXED.size + 4 * nseg
+
+
 def write_frame(
     sock: socket.socket,
     ftype: int,
@@ -329,13 +336,28 @@ class _Connection:
             self._send_error(str(exc), cid=cid)
             self.close()
             return
-        self.inflight.put((cid, pending))  # blocks when full: flow control
+        # a full queue blocks here — that IS the flow control — but in
+        # bounded slices so close() can interrupt a reader stuck behind a
+        # writer that already exited
+        while not self._closed.is_set():
+            try:
+                self.inflight.put((cid, pending), timeout=0.2)
+                return
+            except queue.Full:
+                continue
 
     # -- writer --------------------------------------------------------------
     def _write_loop(self) -> None:
         metrics = self.listener.server.metrics
         while True:
-            item = self.inflight.get()
+            # poll in slices: close() may be unable to enqueue the wake-up
+            # sentinel when the queue is full, so the clock is the backstop
+            try:
+                item = self.inflight.get(timeout=0.2)
+            except queue.Empty:
+                if self._closed.is_set():
+                    return
+                continue
             if item is None:
                 return
             cid, pending = item
@@ -349,7 +371,9 @@ class _Connection:
                 if cid is not None:
                     header["cid"] = cid
                 frame = encode_frame(T_RESPONSE, header, segments)
-            except (WireFormatError, TypeError, ValueError) as exc:
+            except (WireFormatError, TypeError, ValueError, struct.error) as exc:
+                # struct.error: >65535 segments or a segment >= 4 GiB —
+                # responses are not capped by max_frame the way requests are
                 # un-encodable response value: tell the client, keep going
                 frame = encode_frame(
                     T_ERROR,
@@ -392,11 +416,18 @@ class _Connection:
         if self._closed.is_set():
             return
         self._closed.set()
-        self.inflight.put(None)  # unblock the writer
+        # shutdown first: it unblocks a reader parked in recv() and makes
+        # the writer's next sendall() fail fast.  The sentinel only has to
+        # wake an *idle* writer, so a full queue (normal under flow
+        # control) must not block the closing thread — drop it instead.
         try:
             self.sock.shutdown(socket.SHUT_RDWR)
         except OSError:
             pass
+        try:
+            self.inflight.put_nowait(None)
+        except queue.Full:
+            pass  # writer is busy, it will notice _closed on its own
         try:
             self.sock.close()
         except OSError:  # pragma: no cover - double close
@@ -478,6 +509,13 @@ class TransportListener:
         if self._closed.is_set():
             return
         self._closed.set()
+        # shutdown before close: close() alone does not wake a thread
+        # already blocked in accept(), which would stall stop() on the
+        # acceptor join below
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
         try:
             self._sock.close()
         except OSError:  # pragma: no cover

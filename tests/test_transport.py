@@ -14,6 +14,7 @@ one surface, however work reaches the server.
 """
 
 import io
+import queue
 import socket
 import struct
 import threading
@@ -37,7 +38,7 @@ from repro.serve import (
     ServerOptions,
     WireFormatError,
 )
-from repro.serve.requests import decode_value, encode_value
+from repro.serve.requests import PendingResponse, decode_value, encode_value
 from repro.serve.transport import (
     FRAME_VERSION,
     MAGIC,
@@ -174,6 +175,17 @@ class TestWireSchema:
             Request.from_wire(header, segments)
         with pytest.raises(SchemaVersionError):
             Response.from_wire({"schema": None}, [])
+
+    def test_segment_index_validated(self):
+        # negative indices must not alias from the end of the segment list
+        for bad in (-1, 2, True, "0", None):
+            with pytest.raises(WireFormatError, match="segment index"):
+                decode_value({"__bytes__": bad}, [b"a", b"b"])
+        with pytest.raises(WireFormatError, match="segment index"):
+            decode_value(
+                {"__ndarray__": {"dtype": "<f8", "shape": [1], "segment": -1}},
+                [b"x" * 8],
+            )
 
     def test_malformed_header_raises_wire_error(self):
         with pytest.raises(WireFormatError, match="missing"):
@@ -421,6 +433,74 @@ class TestHostileInput:
         _assert_serviceable(server)
         stats = server.stats()
         assert stats["transport"]["connections_closed"] >= 1
+
+    def test_close_with_full_inflight_queue_returns_promptly(self, server):
+        # regression: close() used to do a blocking put on the bounded
+        # in-flight queue — full under flow control — and hang stop()
+        addr = server.listen()
+        sock, _rfile = _raw_connection(addr)
+        deadline = time.monotonic() + 5
+        while not server._listener._connections and time.monotonic() < deadline:
+            time.sleep(0.01)
+        (conn,) = list(server._listener._connections)
+        # fill the window with never-resolving futures (a busy client)
+        while True:
+            try:
+                conn.inflight.put_nowait((None, PendingResponse(Request(kind="knn"))))
+            except queue.Full:
+                break
+        closer = threading.Thread(target=conn.close)
+        closer.start()
+        closer.join(timeout=5)
+        assert not closer.is_alive(), "close() deadlocked on a full in-flight queue"
+        sock.close()
+        _assert_serviceable(server)
+
+    def test_unframeable_response_reported_not_fatal(self, server):
+        # regression: a response with >65535 segments raises struct.error
+        # in the writer, which used to kill the thread and wedge the
+        # connection instead of coming back as a structured error
+        addr = server.listen()
+        sock, rfile = _raw_connection(addr)
+        deadline = time.monotonic() + 5
+        while not server._listener._connections and time.monotonic() < deadline:
+            time.sleep(0.01)
+        (conn,) = list(server._listener._connections)
+        req = Request(kind="knn")
+        pending = PendingResponse(req)
+        pending.resolve(
+            Response(id=req.id, kind="knn", status="ok", value=[b"x"] * 70_000)
+        )
+        conn.inflight.put((123, pending))
+        frame = read_frame(rfile)
+        assert frame is not None and frame[0] == T_ERROR
+        assert "not wire-encodable" in frame[1]["error"]
+        assert frame[1]["cid"] == 123
+        # the writer survived: the same connection still serves requests
+        good = Request(kind="knn", body={"x": 0.3, "y": 0.3, "z": 0.3})
+        sock.sendall(encode_frame(T_REQUEST, *good.to_wire()))
+        frame = read_frame(rfile)
+        assert frame is not None and frame[0] == T_RESPONSE
+        assert frame[1]["status"] == "ok"
+        sock.close()
+
+    def test_oversized_submit_fails_locally_not_inflight(self, knn_service):
+        # regression: an oversized request used to reach the server, come
+        # back as an unattributed T_ERROR (cid=None), and spuriously fail
+        # every other request in flight on the connection
+        opts = ServerOptions(max_frame_bytes=8192, max_batch=4, batch_deadline=0.02)
+        with PipelineServer([knn_service], opts) as server:
+            with RemoteClient(server.listen(), timeout=60.0) as client:
+                assert client.max_frame == 8192
+                pending = [
+                    client.submit("knn", {"x": x, "y": x, "z": x})
+                    for x in (0.2, 0.4)
+                ]
+                with pytest.raises(WireFormatError, match="frame cap"):
+                    client.submit("knn", {"blob": b"x" * 20_000})
+                # concurrent in-flight requests are untouched by the failure
+                assert all(p.result(60).ok for p in pending)
+                assert client.knn(0.3, 0.3, 0.3).ok
 
     def test_connection_gauges_track_clients(self, server):
         addr = server.listen()
