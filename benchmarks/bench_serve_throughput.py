@@ -23,6 +23,16 @@ encoding, and two thread hops per request.  Socket responses are
 verified byte-identical to the one-shot baselines too, and the
 socket-vs-one-shot ratio carries its own floor (>=4x local, >=2x on CI).
 
+A fourth mode isolates the **resident process-engine worker pool**:
+sequential (unbatched) requests against two otherwise-identical
+process-engine servers, one with ``EngineOptions(resident=False)``
+(fork-per-run: every request forks, runs, and joins its worker
+processes) and one with the default resident pool (workers forked once,
+each request shipped as a work epoch over the order channels).  The
+per-request latency medians are compared — the resident pool must be
+>=2x lower locally (advisory 1.2x on CI) — and both modes land in the
+JSON report.
+
 Run standalone with
 ``PYTHONPATH=src python benchmarks/bench_serve_throughput.py [out.json]``
 (writes a JSON report for the CI artifact) or via pytest.  Results are
@@ -33,12 +43,14 @@ from __future__ import annotations
 
 import json
 import os
+import statistics
 import sys
 import time
 
 import pytest
 
 from repro.apps import make_knn_service, make_vmscope_service
+from repro.datacutter import EngineOptions
 from repro.serve import LocalClient, PipelineServer, RemoteClient, ServerOptions
 from repro.serve.session import oneshot
 
@@ -50,6 +62,10 @@ CI_FLOOR = 2.0
 #: request cost some of the LocalClient speedup, but never the multiple
 SOCKET_EXPECTED_SPEEDUP = 4.0
 SOCKET_CI_FLOOR = 2.0
+#: resident worker pool vs fork-per-run on the process engine: median
+#: per-request latency must drop by at least this factor
+RESIDENT_EXPECTED_SPEEDUP = 2.0
+RESIDENT_CI_FLOOR = 1.2
 
 N_REQUESTS = 60
 #: distinct request bodies in the burst (coalescing + cache-hit fodder)
@@ -63,6 +79,10 @@ def enforced_floor() -> float:
 
 def enforced_socket_floor() -> float:
     return SOCKET_CI_FLOOR if os.environ.get("CI") else SOCKET_EXPECTED_SPEEDUP
+
+
+def enforced_resident_floor() -> float:
+    return RESIDENT_CI_FLOOR if os.environ.get("CI") else RESIDENT_EXPECTED_SPEEDUP
 
 
 def make_services():
@@ -141,9 +161,72 @@ def measure() -> dict:
     }
 
 
+#: sequential per-request latency sample size for the resident-pool mode
+N_LATENCY = 20
+
+
+def measure_resident_latency() -> dict:
+    """Median per-request latency, fork-per-run vs resident worker pool.
+
+    Requests are issued sequentially with ``max_batch=1`` so each one is
+    a full engine run — the quantity under test is the per-request warm
+    path (fork+exec+join vs work-epoch dispatch), not batching."""
+    requests = mixed_burst(N_LATENCY)
+    by_kind = {s.name: s for s in make_services()}
+    baselines = {}
+    for kind, body in requests:
+        key = (kind, tuple(sorted(body.items())))
+        if key not in baselines:
+            baselines[key] = oneshot(by_kind[kind].plan(body))
+
+    modes = {}
+    for mode, resident in (("fork_per_run", False), ("resident", None)):
+        engine_options = EngineOptions(
+            engine="process", timeout=300.0, resident=resident
+        )
+        options = ServerOptions(
+            engine_options=engine_options,
+            max_batch=1,
+            batch_deadline=0.0,
+            max_queue=4 * N_LATENCY,
+        )
+        with PipelineServer(make_services(), options) as server:
+            # warmup outside the timed loop: fills the plan cache in both
+            # modes and forks the resident pool in resident mode, so the
+            # comparison isolates the steady-state per-request cost
+            for kind, body in requests[:2]:
+                assert server.request(kind, body, timeout=600.0).ok
+            latencies = []
+            for kind, body in requests:
+                t0 = time.perf_counter()
+                response = server.request(kind, body, timeout=600.0)
+                latencies.append(time.perf_counter() - t0)
+                assert response.ok, (response.status, response.error)
+                expect = baselines[(kind, tuple(sorted(body.items())))]
+                assert response.value.tobytes() == expect.tobytes(), (
+                    f"{mode} response ({kind}) diverged from one-shot baseline"
+                )
+        latencies.sort()
+        modes[mode] = {
+            "requests": len(latencies),
+            "median_ms": round(statistics.median(latencies) * 1e3, 2),
+            "p95_ms": round(latencies[int(0.95 * (len(latencies) - 1))] * 1e3, 2),
+            "mean_ms": round(statistics.fmean(latencies) * 1e3, 2),
+        }
+    modes["median_latency_speedup"] = round(
+        modes["fork_per_run"]["median_ms"] / modes["resident"]["median_ms"], 2
+    )
+    return modes
+
+
 @pytest.fixture(scope="module")
 def measured() -> dict:
     return measure()
+
+
+@pytest.fixture(scope="module")
+def resident_measured() -> dict:
+    return measure_resident_latency()
 
 
 def test_serve_throughput_speedup(measured):
@@ -166,16 +249,32 @@ def test_socket_throughput_speedup(measured):
     assert row["socket_speedup"] >= enforced_socket_floor(), row
 
 
+def test_resident_pool_latency_speedup(resident_measured):
+    row = resident_measured
+    print(
+        f"\nprocess-engine per-request median: fork-per-run "
+        f"{row['fork_per_run']['median_ms']:.1f} ms vs resident "
+        f"{row['resident']['median_ms']:.1f} ms: "
+        f"{row['median_latency_speedup']:.1f}x"
+    )
+    assert row["median_latency_speedup"] >= enforced_resident_floor(), row
+
+
 if __name__ == "__main__":  # pragma: no cover - exercised via CI artifact
     out_path = sys.argv[1] if len(sys.argv) > 1 else "serve_throughput.json"
     floor = enforced_floor()
     socket_floor = enforced_socket_floor()
+    resident_floor = enforced_resident_floor()
     row = measure()
+    resident_row = measure_resident_latency()
     report = {
         "expected_min_speedup": EXPECTED_SPEEDUP,
         "enforced_floor": floor,
         "socket_expected_min_speedup": SOCKET_EXPECTED_SPEEDUP,
         "socket_enforced_floor": socket_floor,
+        "resident_expected_min_speedup": RESIDENT_EXPECTED_SPEEDUP,
+        "resident_enforced_floor": resident_floor,
+        "process_engine_latency": resident_row,
         **row,
     }
     print(
@@ -190,6 +289,12 @@ if __name__ == "__main__":  # pragma: no cover - exercised via CI artifact
         f"{row['latency_s']['p95'] * 1e3:.0f}/"
         f"{row['latency_s']['p99'] * 1e3:.0f} ms"
     )
+    print(
+        f"process-engine per-request median (ms): "
+        f"fork-per-run {resident_row['fork_per_run']['median_ms']:.1f}  "
+        f"resident {resident_row['resident']['median_ms']:.1f}  "
+        f"speedup {resident_row['median_latency_speedup']:.1f}x"
+    )
     with open(out_path, "w") as fh:
         json.dump(report, fh, indent=2)
     print(f"wrote {out_path}")
@@ -198,4 +303,7 @@ if __name__ == "__main__":  # pragma: no cover - exercised via CI artifact
         sys.exit(1)
     if report["socket_speedup"] < socket_floor:
         print(f"FAIL: socket throughput speedup below {socket_floor}x")
+        sys.exit(1)
+    if resident_row["median_latency_speedup"] < resident_floor:
+        print(f"FAIL: resident-pool latency speedup below {resident_floor}x")
         sys.exit(1)

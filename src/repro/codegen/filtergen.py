@@ -396,7 +396,10 @@ class FilterGenerator:
             name=name,
             unit=j,
             source=source,
-            cls=namespace[name],
+            # anchor for pickling: resident process-engine workers receive
+            # rebound FilterSpecs over their order channels, and the spec's
+            # factory must resolve by reference in the already-forked child
+            cls=register_generated(namespace[name]),
             atoms=atoms,
             in_layout=in_layout,
             out_layout=out_layout,

@@ -90,6 +90,13 @@ class EngineOptions:
     #: deterministic fault injection for chaos testing; a FaultPlan or a
     #: plain iterable of FaultSpec (normalized here); None disables
     faults: FaultPlan | Sequence[FaultSpec] | None = None
+    #: process engine: keep the forked worker pool resident across runs.
+    #: ``None`` (the default) is *auto*: an :class:`EngineSession` retains
+    #: the pool, one-shot :func:`run_pipeline` calls fork per run.
+    #: ``True`` forces residency even standalone (caller must ``close()``);
+    #: ``False`` forces fork-per-run even under a session — the knob the
+    #: serving latency benchmark uses for its comparison baseline.
+    resident: bool | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.engine, str) or not self.engine:
@@ -124,6 +131,11 @@ class EngineOptions:
         if self.retry is not None and not isinstance(self.retry, RetryPolicy):
             raise TypeError(
                 f"retry must be a RetryPolicy or None, got {self.retry!r}"
+            )
+        if self.resident is not None and not isinstance(self.resident, bool):
+            raise TypeError(
+                f"resident must be True, False, or None (auto), "
+                f"got {self.resident!r}"
             )
         object.__setattr__(self, "faults", FaultPlan.coerce(self.faults))
 
@@ -199,6 +211,7 @@ def _make_process(specs: Sequence[FilterSpec], opts: EngineOptions) -> Engine:
         retry=opts.retry,
         faults=opts.faults,
         post_eos_timeout=opts.join_timeout,
+        resident=opts.resident is True,
     )
 
 
@@ -254,22 +267,44 @@ class EngineSession:
     configuration — warm across runs.  Engines that predate ``rebind``
     (external registrations) are transparently rebuilt per run.
 
-    Not thread-safe: the serving dispatcher owns one session and feeds it
-    batches sequentially (pipeline-internal parallelism is the engine's
-    job, not the session's).
+    On the process engine the session goes further: unless
+    ``options.resident is False`` it *retains* the engine's worker pool
+    (``Engine.retain``), so the filter processes are forked once on the
+    first run and then serve every subsequent unit of work as a fresh
+    *work epoch* over per-worker control channels — no fork, no
+    re-import, warm shared-memory pool.  That residency is why
+    :meth:`close` is now a real lifecycle event, not just a reference
+    drop: it delivers the poison pill to the resident workers, joins
+    them, and tears down the shared-memory pool.  A ``close()`` racing an
+    in-flight ``run()`` does not hang or leak workers — the engine fails
+    that run with a structured :class:`~repro.datacutter.runtime.PipelineError`
+    and then tears down; once closed, further ``run()`` calls raise.
+
+    Not thread-safe beyond that close race: the serving dispatcher owns
+    one session and feeds it batches sequentially (pipeline-internal
+    parallelism is the engine's job, not the session's).
     """
 
     def __init__(self, options: EngineOptions | None = None) -> None:
         self.options = options if options is not None else EngineOptions()
         self._engine: Engine | None = None
+        self._closed = False
         #: units of work executed through this session
         self.runs = 0
 
     def run(self, specs: Sequence[FilterSpec]) -> RunResult:
         """Execute one unit of work over ``specs`` on the warm engine."""
+        if self._closed:
+            raise RuntimeError(
+                "EngineSession is closed; it cannot run another unit of work"
+            )
         engine = self._engine
         if engine is None:
             engine = make_engine(specs, self.options)
+            if self.options.resident is not False:
+                retain = getattr(engine, "retain", None)
+                if retain is not None:
+                    retain()
             self._engine = engine
         else:
             rebind = getattr(engine, "rebind", None)
@@ -282,9 +317,19 @@ class EngineSession:
         return engine.run()
 
     def close(self) -> None:
-        """Drop the warm engine (both engines tear down their workers at
-        the end of each unit of work; this just releases the scaffolding)."""
-        self._engine = None
+        """Tear down the warm engine.
+
+        For a resident process pool this is the single real teardown:
+        poison-pill the worker control channels, join the workers, and
+        release the shared-memory pool.  Safe to call concurrently with
+        an in-flight :meth:`run` — that run fails with a structured error
+        instead of hanging — and idempotent thereafter."""
+        self._closed = True
+        engine, self._engine = self._engine, None
+        if engine is not None:
+            close = getattr(engine, "close", None)
+            if close is not None:
+                close()
 
     def __enter__(self) -> "EngineSession":
         return self

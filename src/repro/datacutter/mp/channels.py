@@ -78,6 +78,9 @@ class ProcessEdge:
             for _ in range(n_consumers)
         ]
         self._open = mpctx.Value("i", n_producers)
+        #: current work epoch of *this process's* copy of the edge (each
+        #: side advances its own copy via :meth:`begin_epoch`)
+        self._epoch = 0
         self.stats = StreamStats()
         #: worker-local trace buffer; ``None`` in the parent.  Each forked
         #: worker owns a private copy of this edge object and attaches its
@@ -92,6 +95,24 @@ class ProcessEdge:
         #: credit already-consumed sentinels to a restarted copy (the
         #: sentinels are gone from the queue for good)
         self.on_eos: Any = None
+
+    def begin_epoch(self, epoch: int, reopen: bool = False) -> None:
+        """Enter a new work epoch on this process's copy of the edge.
+
+        Resets the per-epoch consumer state (sentinel tallies, producer
+        stats) so nothing from the previous unit of work bleeds into the
+        next one.  Workers call this with their private post-fork copies
+        when an epoch order arrives; the parent calls it with
+        ``reopen=True`` on its copies *before* dispatching the orders,
+        which also restores the shared producer-open count — safe because
+        epochs only advance after every worker handed in ``done`` for the
+        previous one, so no producer can be mid-close."""
+        self._epoch = epoch
+        self._eos_seen = [0] * self.n_consumers
+        self.stats = StreamStats()
+        if reopen:
+            with self._open.get_lock():
+                self._open.value = self.n_producers
 
     def _depth(self, q: Any) -> int:
         try:
@@ -137,9 +158,11 @@ class ProcessEdge:
             if self._open.value < 0:
                 raise RuntimeError(f"stream {self.name}: too many closes")
         # every producer broadcasts its own sentinel (see module docstring:
-        # it must ride this producer's FIFO, behind this producer's data)
+        # it must ride this producer's FIFO, behind this producer's data),
+        # tagged with the sender's epoch so a resident consumer can ignore
+        # stragglers from a previous unit of work
         for q in self._queues:
-            q.put(EndOfStream())
+            q.put(EndOfStream(self._epoch))
 
     # -- consumer side -------------------------------------------------------
     def get(self, consumer_index: int, timeout: float | None = None) -> Buffer | None:
@@ -162,6 +185,11 @@ class ProcessEdge:
                     self._depth(q),
                 )
             if isinstance(item, EndOfStream):
+                if getattr(item, "epoch", 0) != self._epoch:
+                    # straggler sentinel from a previous unit of work on a
+                    # resident pool: it already satisfied (or failed) its
+                    # own epoch — it must not count against this one
+                    continue
                 self._eos_seen[consumer_index] += 1
                 if self.on_eos is not None:
                     self.on_eos(self._eos_seen[consumer_index])
@@ -170,6 +198,14 @@ class ProcessEdge:
                 continue
             item.payload = decode_payload(item.payload)
             return item
+
+    def readers(self) -> list[Any]:
+        """The consumer-side pipe connections, for ``connection.wait`` —
+        lets the supervisor sleep until output actually arrives instead
+        of polling at a fixed interval (resident workers never trip the
+        process-sentinel wait, so without this every epoch would pay
+        multiples of the poll interval in pure latency)."""
+        return [q._reader for q in self._queues]
 
     def preset_eos(self, consumer_index: int, count: int) -> None:
         """Credit sentinels a previous (dead) incarnation of this consumer
@@ -199,6 +235,8 @@ class ProcessEdge:
         while True:
             item = self._queues[consumer_index].get_nowait()
             if isinstance(item, EndOfStream):
+                if getattr(item, "epoch", 0) != self._epoch:
+                    continue  # straggler from a previous epoch (see get())
                 self._eos_seen[consumer_index] += 1
                 if self._eos_seen[consumer_index] >= self.n_producers:
                     return item

@@ -8,10 +8,10 @@ of serializing behind the GIL.  The moving parts:
 * :mod:`~repro.datacutter.mp.transport` — shared-memory transport for
   large NumPy/bytes payloads, pickle for the rest;
 * :mod:`~repro.datacutter.mp.channels` — bounded inter-stage queues with
-  backpressure and the end-of-stream protocol;
-* :mod:`~repro.datacutter.mp.worker` — the per-copy unit-of-work loop;
+  backpressure and the epoch-tagged end-of-stream protocol;
+* :mod:`~repro.datacutter.mp.worker` — the resident per-copy worker loop;
 * :mod:`~repro.datacutter.mp.supervisor` — sentinel/heartbeat liveness
-  watching and clean teardown.
+  watching, crash recovery, and clean teardown.
 
 Workers are started with the ``fork`` start method.  That is a design
 choice, not an accident: the compiler's generated filter classes are
@@ -20,6 +20,29 @@ survive pickling — ``fork`` inherits them by memory image, exactly like
 threads do, so *any* pipeline the threaded engine can run, this engine
 can run.  On platforms without ``fork`` construction raises a
 ``PipelineError`` telling the caller to use the threaded engine.
+
+**Resident worker pool.**  Forking one process per filter copy per run
+is exactly the startup cost the paper's long-lived filtering services
+avoid, so the pool is reusable across runs: workers are forked once and
+then loop on a per-worker order channel receiving *work epochs*.  A warm
+:class:`~repro.datacutter.engine.EngineSession` marks the engine resident
+(:meth:`ProcessPipeline.retain`); each subsequent ``run()`` then ships
+the freshly bound :class:`FilterSpec` values (packets, params, widths,
+routing policy — the generated filter classes are already in the fork
+image, anchored by :mod:`repro.codegen.generated_registry`) over the
+order channels instead of forking, and the epoch id correlates every
+end-of-stream sentinel and ``done`` handshake so a straggler from epoch
+N cannot pollute epoch N+1.  The supervisor stays up across epochs —
+heartbeats, crash respawn, and checkpoint replay all work mid-epoch on a
+resident worker — and each worker's :class:`ShmPool` segments persist
+and are reused across epochs, with per-epoch reuse counters reported
+into the trace.  The pool *reforks* transparently whenever an epoch
+cannot be shipped by value: a different pipeline shape, a filter class
+generated after the pool was forked, or unpicklable spec contents.
+Without ``retain()`` each ``run()`` forks and joins its own pool —
+byte-identical behaviour to the historical fork-per-run engine — and
+:meth:`close` performs the single real teardown of a resident pool
+(poison-pill orders, join, shared-memory teardown).
 
 Results, stream statistics, error semantics, and observability mirror the
 threaded engine: ``run()`` returns the same :class:`RunResult` shape, a
@@ -33,6 +56,11 @@ threaded ones (see :mod:`repro.datacutter.obs`).
 from __future__ import annotations
 
 import multiprocessing
+import pickle
+import threading
+import time
+from dataclasses import dataclass, field
+from queue import Empty
 from typing import Any, Sequence
 
 from ..filters import FilterSpec
@@ -41,15 +69,60 @@ from ..recovery.faults import FaultPlan
 from ..recovery.policy import RetryPolicy
 from ..recovery.replay import CopyProgress
 from ..runtime import PipelineError, RunResult
-from ..streams import RoundRobin
 from .channels import ProcessEdge
 from .supervisor import Supervisor, WorkerHandle
-from .transport import DEFAULT_SHM_MIN_BYTES, pool_teardown
+from .transport import DEFAULT_SHM_MIN_BYTES, pool_stats, pool_teardown
 from .worker import worker_main
+
+#: the poison pill shipped to resident workers at teardown
+_EXIT_ORDER = pickle.dumps(("exit",))
+
+#: shm-pool counters reported as per-run deltas from the parent process
+_SHM_COUNTERS = ("hits", "misses", "released", "evicted")
+
+
+def _generated_registry() -> Any:
+    """The pickle-anchor module for exec-generated classes.
+
+    Imported lazily: ``repro.codegen`` pulls in the compiler stack, which
+    itself imports :mod:`repro.datacutter` — a module-level import here
+    would close that cycle during package initialization."""
+    from ...codegen import generated_registry
+
+    return generated_registry
+
+
+@dataclass
+class _WorkerPool:
+    """One forked generation of resident workers and their wiring."""
+
+    mpctx: Any
+    #: pipeline shape the pool was forked for: ((name, width), ...) — the
+    #: edges and worker count are bound to it, so a different shape reforks
+    layout: tuple[tuple[str, int], ...]
+    resident: bool
+    recovering: bool
+    workers: list[WorkerHandle]
+    #: wid -> [spec, copy_index, in_edge, out_edge, order_recv] — the spec
+    #: slot is refreshed every epoch so a respawn forks the current one
+    spawn_args: dict[int, list[Any]]
+    all_edges: list[ProcessEdge]
+    collector: ProcessEdge
+    heartbeats: Any
+    control: Any
+    #: wid -> parent (send) end of the worker's order channel
+    orders: dict[int, Any]
+    #: wid -> parent copy of the worker-side (recv) end, closed at teardown
+    order_recv: dict[int, Any]
+    supervisor: Supervisor
+    #: generated-registry attribute names present at fork time: a spec
+    #: whose factory was registered later cannot unpickle in the children
+    registry_names: frozenset[str] = field(default_factory=frozenset)
+    forked_at: float = field(default_factory=time.monotonic)
 
 
 class ProcessPipeline:
-    """Executes one unit-of-work with one OS process per filter copy."""
+    """Executes units of work with one OS process per filter copy."""
 
     engine_name = "process"
 
@@ -64,6 +137,7 @@ class ProcessPipeline:
         retry: RetryPolicy | None = None,
         faults: FaultPlan | None = None,
         post_eos_timeout: float | None = 60.0,
+        resident: bool = False,
     ) -> None:
         if not specs:
             raise ValueError("pipeline needs at least one filter")
@@ -81,20 +155,68 @@ class ProcessPipeline:
         self.retry = retry
         self.faults = FaultPlan.coerce(faults)
         self.post_eos_timeout = post_eos_timeout
+        self._resident = resident
+        self._pool: _WorkerPool | None = None
+        self._epoch = 0
+        self._forks = 0
+        self._reforks = 0
+        self._closed = False
+        self._close_evt = threading.Event()
+        self._run_lock = threading.Lock()
+        #: parent-process shm-pool counters at the end of the last run
+        #: (the parent decodes collector buffers, so it pools segments too)
+        self._parent_shm_base = dict.fromkeys(_SHM_COUNTERS, 0)
+
+    # ------------------------------------------------------------ lifecycle
+    def retain(self) -> None:
+        """Keep the worker pool resident across runs.
+
+        Called by :class:`~repro.datacutter.engine.EngineSession`; after
+        this, the caller owns the teardown via :meth:`close`."""
+        self._resident = True
 
     def rebind(self, specs: Sequence[FilterSpec]) -> None:
         """Point the engine at a new placed pipeline for the next run.
 
-        Each ``run()`` forks fresh workers and edges, so a warm session
-        (:class:`~repro.datacutter.engine.EngineSession`) only needs the
-        spec list swapped to reuse the engine's validated configuration
-        across requests (worker persistence across units of work is a
-        ROADMAP item)."""
+        On a resident pool the next ``run()`` ships these specs to the
+        already-forked workers as a new work epoch (values only); a pool
+        with a different shape — or specs that cannot cross the order
+        channel — is reforked transparently."""
         if not specs:
             raise ValueError("pipeline needs at least one filter")
         self.specs = list(specs)
 
+    def close(self) -> None:
+        """The single real teardown of a (possibly resident) pool.
+
+        Idempotent.  A close racing an in-flight ``run()`` does not hang
+        or leak workers: the in-flight run is failed promptly with a
+        structured :class:`PipelineError` (via the supervisor's abort
+        hook), its pool is torn down, and only then does close return."""
+        self._close_evt.set()
+        with self._run_lock:
+            self._closed = True
+            try:
+                self._shutdown_pool()
+            finally:
+                pool_teardown()
+
+    def __enter__(self) -> "ProcessPipeline":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ run
     def run(self) -> RunResult:
+        with self._run_lock:
+            return self._run_locked()
+
+    def _run_locked(self) -> RunResult:
+        if self._closed or self._close_evt.is_set():
+            raise PipelineError(
+                "process engine is closed; it cannot run another unit of work"
+            )
         try:
             mpctx = multiprocessing.get_context("fork")
         except ValueError as err:  # pragma: no cover - non-POSIX platforms
@@ -107,12 +229,80 @@ class ProcessPipeline:
             self.trace.note(engine=self.engine_name)
 
         specs = self.specs
+        self._epoch += 1
+        epoch = self._epoch
+
+        pool = self._pool
+        if pool is not None:
+            order_blobs = self._pack_orders(pool, specs, epoch)
+            if order_blobs is None:
+                # the resident pool cannot serve this epoch by value:
+                # different shape, post-fork generated classes, or
+                # unpicklable spec contents — refork with specs inherited
+                # through the fork image instead
+                self._shutdown_pool()
+                pool = None
+                self._reforks += 1
+        if pool is None:
+            pool = self._fork_pool(mpctx, specs, epoch)
+            self._pool = pool
+        else:
+            self._begin_epoch(pool, specs, epoch, order_blobs)
+
+        supervisor = pool.supervisor
+        try:
+            outputs = supervisor.supervise()
+        except BaseException as err:
+            # supervise() tears the workers down on PipelineError; this
+            # guard covers KeyboardInterrupt and friends in the parent
+            if not isinstance(err, PipelineError):
+                supervisor._teardown()
+            self._dispose_failed_pool(pool)
+            raise
+
+        result = RunResult(outputs=outputs)
+        for edge in pool.all_edges:
+            agg = supervisor.stats.get(edge.name)
+            result.stream_bytes[edge.name] = agg.bytes if agg else 0
+            result.stream_buffers[edge.name] = agg.buffers if agg else 0
+            result.stream_by_packet[edge.name] = dict(agg.by_packet) if agg else {}
+
+        shm_pool = dict(supervisor.shm_pool)
+        if self._resident:
+            # the pool survives: report the parent's reuse as a delta so
+            # per-run numbers stay additive across epochs
+            parent_now = pool_stats()
+            parent_stats = {
+                k: parent_now[k] - self._parent_shm_base[k]
+                for k in _SHM_COUNTERS
+            }
+            parent_stats["pooled_bytes"] = parent_now["pooled_bytes"]
+            self._parent_shm_base = {k: parent_now[k] for k in _SHM_COUNTERS}
+        else:
+            self._shutdown_pool()
+            parent_stats = pool_teardown()
+        for key, value in parent_stats.items():
+            shm_pool[key] = shm_pool.get(key, 0) + value
+        if self.trace is not None:
+            if any(shm_pool.values()):
+                self.trace.note(shm_pool=shm_pool)
+            self.trace.note(
+                worker_pool={
+                    "resident": self._resident,
+                    "epoch": epoch,
+                    "forks": self._forks,
+                    "reforks": self._reforks,
+                }
+            )
+        return result
+
+    # ------------------------------------------------------- pool plumbing
+    def _fork_pool(
+        self, mpctx: Any, specs: list[FilterSpec], epoch: int
+    ) -> _WorkerPool:
+        """Fork a fresh worker generation with ``specs`` in its image."""
         edges: list[ProcessEdge] = []
         for k in range(len(specs) - 1):
-            policy = specs[k].out_policy or RoundRobin()
-            # spec-attached policies survive across runs; reset any routing
-            # cursor so run N+1 routes identically to run N
-            policy.reset()
             edges.append(
                 ProcessEdge(
                     mpctx,
@@ -120,7 +310,6 @@ class ProcessPipeline:
                     n_producers=specs[k].width,
                     n_consumers=specs[k + 1].width,
                     capacity=self.queue_capacity,
-                    policy=policy,
                     shm_min_bytes=self.shm_min_bytes,
                 )
             )
@@ -133,21 +322,27 @@ class ProcessPipeline:
             shm_min_bytes=self.shm_min_bytes,
         )
         all_edges = edges + [collector]
+        for edge in all_edges:
+            edge.begin_epoch(epoch, reopen=True)
 
         n_workers = sum(spec.width for spec in specs)
         heartbeats = mpctx.Array("d", n_workers, lock=False)
         control = mpctx.Queue()
         recovering = self.retry is not None or self.faults is not None
 
-        # per-worker wiring, kept so the supervisor can respawn any copy
-        spawn_args: dict[int, tuple[FilterSpec, int, ProcessEdge | None, ProcessEdge]] = {}
+        spawn_args: dict[int, list[Any]] = {}
+        orders: dict[int, Any] = {}
+        order_recv: dict[int, Any] = {}
         workers: list[WorkerHandle] = []
         worker_id = 0
         for k, spec in enumerate(specs):
             in_edge = edges[k - 1] if k > 0 else None
             out_edge = all_edges[k]
             for copy_index in range(spec.width):
-                spawn_args[worker_id] = (spec, copy_index, in_edge, out_edge)
+                recv_end, send_end = mpctx.Pipe(duplex=False)
+                orders[worker_id] = send_end
+                order_recv[worker_id] = recv_end
+                spawn_args[worker_id] = [spec, copy_index, in_edge, out_edge, recv_end]
                 workers.append(
                     WorkerHandle(
                         process=None,
@@ -157,10 +352,49 @@ class ProcessPipeline:
                 )
                 worker_id += 1
 
+        supervisor = Supervisor(
+            workers,
+            control,
+            collector,
+            all_edges,
+            heartbeats,
+            timeout=self.timeout,
+            death_grace=self.death_grace,
+            trace=self.trace,
+            retry=self.retry,
+            faults=self.faults,
+            respawn=None,  # wired below (the closure needs the pool)
+            post_eos_timeout=self.post_eos_timeout,
+        )
+        supervisor.abort = self._abort_reason
+        # resident workers park on their order channels after a clean
+        # epoch instead of exiting, so supervise() must not join them
+        supervisor.resident = self._resident
+
+        pool = _WorkerPool(
+            mpctx=mpctx,
+            layout=tuple((s.name, s.width) for s in specs),
+            resident=self._resident,
+            recovering=recovering,
+            workers=workers,
+            spawn_args=spawn_args,
+            all_edges=all_edges,
+            collector=collector,
+            heartbeats=heartbeats,
+            control=control,
+            orders=orders,
+            order_recv=order_recv,
+            supervisor=supervisor,
+            registry_names=frozenset(vars(_generated_registry())),
+        )
+
         def spawn(wid: int, progress: CopyProgress | None) -> Any:
-            spec, copy_index, in_edge, out_edge = spawn_args[wid]
+            spec, copy_index, in_edge, out_edge, recv_end = pool.spawn_args[wid]
             # fork start method: args (including the unpicklable generated
-            # specs and any replay buffers) are inherited, never pickled
+            # specs and any replay buffers) are inherited, never pickled.
+            # Respawns bake the *current* epoch and spec into the fresh
+            # image, so a worker restarted mid-epoch N heals epoch N and
+            # then serves epoch N+1 like any resident peer.
             process = mpctx.Process(
                 target=worker_main,
                 args=(
@@ -174,6 +408,9 @@ class ProcessPipeline:
                     self.trace is not None,
                     self.faults,
                     progress,
+                    recv_end,
+                    supervisor.epoch,
+                    pool.resident,
                 ),
                 name=f"{spec.name}#{copy_index}",
                 daemon=True,
@@ -181,46 +418,145 @@ class ProcessPipeline:
             process.start()
             return process
 
-        supervisor = Supervisor(
-            workers,
-            control,
-            collector,
-            all_edges,
-            heartbeats,
-            timeout=self.timeout,
-            death_grace=self.death_grace,
-            trace=self.trace,
-            retry=self.retry,
-            faults=self.faults,
-            respawn=spawn if recovering else None,
-            post_eos_timeout=self.post_eos_timeout,
-        )
+        if recovering:
+            # the respawn hook closes over the pool, which did not exist
+            # when the Supervisor was constructed; begin_epoch() below
+            # builds the recovery bookkeeping this flag enables
+            supervisor.respawn = spawn
+            supervisor._recovering = True
+
+        supervisor.begin_epoch(epoch)
         for w in workers:
             w.process = spawn(
                 w.worker_id, CopyProgress() if recovering else None
             )
+        self._forks += 1
+        return pool
+
+    def _pack_orders(
+        self, pool: _WorkerPool, specs: list[FilterSpec], epoch: int
+    ) -> dict[int, bytes] | None:
+        """Pre-pickle one epoch order per worker; None means refork.
+
+        All orders are encoded *before any is sent*, so an unpicklable
+        spec can never leave the pool half-dispatched into an epoch.  A
+        factory anchored in the generated registry after the pool was
+        forked pickles fine here but would fail lookup in the children —
+        the fork-time registry snapshot catches that proactively."""
+        if not pool.resident or self._resident != pool.resident:
+            return None
+        if pool.layout != tuple((s.name, s.width) for s in specs):
+            return None
+        if any(
+            w.process is None or not w.process.is_alive() for w in pool.workers
+        ):
+            return None  # a worker died while idle (OOM kill, signal)
+        registry_name = _generated_registry().__name__
+        for spec in specs:
+            factory = spec.factory
+            if (
+                getattr(factory, "__module__", None) == registry_name
+                and getattr(factory, "__qualname__", "") not in pool.registry_names
+            ):
+                return None
+        blobs: dict[int, bytes] = {}
+        worker_id = 0
         try:
-            outputs = supervisor.supervise()
-        except BaseException:
-            # supervise() tears down on PipelineError; this guard covers
-            # KeyboardInterrupt and friends arriving in the parent
-            supervisor._teardown()
-            pool_teardown()
-            raise
+            for spec in specs:
+                for _copy in range(spec.width):
+                    progress = CopyProgress() if pool.recovering else None
+                    # the fault plan rides along so chaos config tracks the
+                    # engine's current value each epoch instead of freezing
+                    # at whatever the pool was forked with
+                    blobs[worker_id] = pickle.dumps(
+                        ("epoch", epoch, spec, progress, self.faults),
+                        protocol=pickle.HIGHEST_PROTOCOL,
+                    )
+                    worker_id += 1
+        except Exception:  # noqa: BLE001 - closures, lambdas, open handles
+            return None
+        return blobs
 
-        # the parent decodes collector buffers, so it pools segments too:
-        # fold its counters in with the workers' and release everything
-        parent_stats = pool_teardown()
-        shm_pool = dict(supervisor.shm_pool)
-        for key, value in parent_stats.items():
-            shm_pool[key] = shm_pool.get(key, 0) + value
-        if self.trace is not None and any(shm_pool.values()):
-            self.trace.note(shm_pool=shm_pool)
+    def _begin_epoch(
+        self,
+        pool: _WorkerPool,
+        specs: list[FilterSpec],
+        epoch: int,
+        order_blobs: dict[int, bytes],
+    ) -> None:
+        """Ship one epoch to an idle resident pool."""
+        # refresh the spec slots so a mid-epoch respawn forks the current
+        # bindings, not the ones the pool was originally forked with
+        worker_id = 0
+        for spec in specs:
+            for _copy in range(spec.width):
+                pool.spawn_args[worker_id][0] = spec
+                worker_id += 1
+        # reset parent-side edge state (and the shared producer-open
+        # counts) *before* any worker can race ahead into the new epoch
+        for edge in pool.all_edges:
+            edge.begin_epoch(epoch, reopen=True)
+        pool.supervisor.begin_epoch(epoch)
+        for wid, send_end in pool.orders.items():
+            send_end.send_bytes(order_blobs[wid])
 
-        result = RunResult(outputs=outputs)
-        for edge in all_edges:
-            agg = supervisor.stats.get(edge.name)
-            result.stream_bytes[edge.name] = agg.bytes if agg else 0
-            result.stream_buffers[edge.name] = agg.buffers if agg else 0
-            result.stream_by_packet[edge.name] = dict(agg.by_packet) if agg else {}
-        return result
+    def _abort_reason(self) -> str | None:
+        if self._close_evt.is_set():
+            return (
+                "pipeline closed while a unit of work was in flight "
+                "(EngineSession/SessionPool close raced run())"
+            )
+        return None
+
+    def _shutdown_pool(self) -> None:
+        """Orderly teardown of an idle pool: poison pills, join, reclaim."""
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        for send_end in pool.orders.values():
+            try:
+                send_end.send_bytes(_EXIT_ORDER)
+            except (OSError, ValueError, BrokenPipeError):
+                pass  # worker already gone; the join below still reaps it
+        for w in pool.workers:
+            if w.process is not None:
+                w.process.join(timeout=10)
+        for w in pool.workers:
+            if w.process is not None and w.process.is_alive():
+                w.process.terminate()
+                w.process.join(timeout=2)
+        self._release_pool_ipc(pool)
+        self._parent_shm_base = dict.fromkeys(_SHM_COUNTERS, 0)
+
+    def _dispose_failed_pool(self, pool: _WorkerPool) -> None:
+        """Drop a pool whose epoch failed (workers already torn down)."""
+        if self._pool is pool:
+            self._pool = None
+        self._release_pool_ipc(pool)
+        pool_teardown()
+        self._parent_shm_base = dict.fromkeys(_SHM_COUNTERS, 0)
+
+    def _release_pool_ipc(self, pool: _WorkerPool) -> None:
+        for send_end in pool.orders.values():
+            try:
+                send_end.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        for recv_end in pool.order_recv.values():
+            try:
+                recv_end.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        for edge in pool.all_edges:
+            edge.reclaim()
+        # drain and release the control queue's feeder resources
+        while True:
+            try:
+                pool.control.get_nowait()
+            except (Empty, OSError, ValueError, EOFError):
+                break
+        try:
+            pool.control.close()
+            pool.control.join_thread()
+        except (OSError, ValueError):  # pragma: no cover - already closed
+            pass

@@ -108,6 +108,17 @@ class Supervisor:
         self.retry = retry
         self.respawn = respawn
         self.post_eos_timeout = post_eos_timeout
+        #: current work epoch; a resident pool advances it via begin_epoch
+        #: so 'done' handshakes from a previous unit of work are ignored
+        self.epoch = 0
+        #: True while the workers outlive each unit of work: after a clean
+        #: epoch they park on their order channels instead of exiting, so
+        #: the end-of-run join/exit check must not apply
+        self.resident = False
+        #: optional external abort hook checked every loop iteration; a
+        #: non-None return fails the run with that message (the engine
+        #: wires a close() racing an in-flight run through this)
+        self.abort: Callable[[], str | None] | None = None
         self.errors: list[str] = []
         self.stats: dict[str, StreamStats] = {}
         #: shared-memory pool counters summed over all worker processes
@@ -130,6 +141,30 @@ class Supervisor:
         )
 
     # ------------------------------------------------------------------ api
+    def begin_epoch(self, epoch: int) -> None:
+        """Reset the per-epoch bookkeeping for the next unit of work.
+
+        The supervisor object itself stays up for the life of a resident
+        worker pool; everything scoped to one run — errors, done
+        handshakes, stream statistics, shm-pool deltas, pending-death
+        grace timers, recovery progress — restarts here.  Heartbeats are
+        stamped to *now* because resident workers do not beat while idle
+        between epochs, and a stale stamp would trip timeout diagnostics
+        instantly."""
+        self.epoch = epoch
+        self.errors = []
+        self.stats = {}
+        self.shm_pool = {}
+        self._done = set()
+        self._pending_dead = {}
+        if self._recovering:
+            self._recovery = {
+                w.worker_id: _WorkerRecovery() for w in self.workers
+            }
+        now = time.monotonic()
+        for w in self.workers:
+            self.heartbeats[w.worker_id] = now
+
     def supervise(self) -> list[Buffer]:
         """Run to completion; returns outputs or raises PipelineError."""
         outputs: list[Buffer] = []
@@ -139,6 +174,11 @@ class Supervisor:
         done_at_deadline = -1
 
         while True:
+            if self.abort is not None:
+                reason = self.abort()
+                if reason is not None:
+                    self.errors.append(reason)
+                    break
             self._drain_control()
             eos_seen = self._drain_collector(outputs) or eos_seen
             if self.errors:
@@ -181,11 +221,20 @@ class Supervisor:
                 elif now > post_eos_deadline:
                     self.errors.append(self._post_eos_message())
                     break
-            sentinels = [
+            # sleep until something actually happens: a worker dying (its
+            # sentinel), a control message (done/error/stats land here —
+            # the latency-critical wake on a resident pool, whose workers
+            # never exit), or collector output
+            waits = [
                 w.process.sentinel for w in self.workers if w.process.is_alive()
             ]
-            if sentinels:
-                connection.wait(sentinels, timeout=0.02)
+            try:
+                waits.append(self.control._reader)
+            except AttributeError:  # pragma: no cover - non-CPython Queue
+                pass
+            waits.extend(self.collector.readers())
+            if waits:
+                connection.wait(waits, timeout=0.02)
             else:
                 time.sleep(0.005)
 
@@ -193,14 +242,15 @@ class Supervisor:
             self._teardown()
             raise PipelineError("\n".join(self.errors))
 
-        for w in self.workers:
-            w.process.join(timeout=10)
-        stuck = [w.label for w in self.workers if w.process.is_alive()]
-        if stuck:  # pragma: no cover - 'done' arrived, so exit is imminent
-            self._teardown()
-            raise PipelineError(
-                f"workers did not exit after finishing: {', '.join(stuck)}"
-            )
+        if not self.resident:
+            for w in self.workers:
+                w.process.join(timeout=10)
+            stuck = [w.label for w in self.workers if w.process.is_alive()]
+            if stuck:  # pragma: no cover - 'done' arrived, exit is imminent
+                self._teardown()
+                raise PipelineError(
+                    f"workers did not exit after finishing: {', '.join(stuck)}"
+                )
         return outputs
 
     # ------------------------------------------------------------- internals
@@ -245,7 +295,11 @@ class Supervisor:
                     for blk in blocked:
                         self.trace.record_blocked(blk)
             elif kind == "done":
-                _, wid, failed = msg
+                _, wid, epoch, failed = msg
+                if epoch != self.epoch:
+                    # straggler handshake from a previous unit of work on
+                    # a resident pool; its epoch already settled
+                    continue
                 if failed and self._recovering:
                     rec = self._recovery[wid]
                     reason = rec.pending_error or (
@@ -368,12 +422,13 @@ class Supervisor:
 
     def _teardown(self) -> None:
         """Terminate survivors and reclaim in-flight shared memory."""
-        for w in self.workers:
+        alive = [w for w in self.workers if w.process is not None]
+        for w in alive:
             if w.process.is_alive():
                 w.process.terminate()
-        for w in self.workers:
+        for w in alive:
             w.process.join(timeout=2)
-        for w in self.workers:
+        for w in alive:
             if w.process.is_alive():  # pragma: no cover - SIGTERM ignored
                 w.process.kill()
                 w.process.join(timeout=2)

@@ -48,9 +48,21 @@ DEFAULT_SHM_MIN_BYTES = 64 * 1024
 
 
 class EndOfStream:
-    """Queue sentinel: every producer copy of the stream has closed."""
+    """Queue sentinel: every producer copy of the stream has closed.
 
-    __slots__ = ()
+    Carries the *work epoch* it was sent in: with a resident worker pool
+    (see :mod:`repro.datacutter.mp.engine`) the same queues host many
+    units of work back to back, and a consumer must never let a straggler
+    sentinel from epoch N satisfy the end-of-stream count of epoch N+1.
+    """
+
+    __slots__ = ("epoch",)
+
+    def __init__(self, epoch: int = 0) -> None:
+        self.epoch = epoch
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EndOfStream(epoch={self.epoch})"
 
 
 @dataclass(slots=True)

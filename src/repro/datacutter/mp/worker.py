@@ -1,6 +1,7 @@
-"""Worker-process entry point: one process per filter copy.
+"""Worker-process entry point: one resident process per filter copy.
 
-Runs the unit-of-work protocol shared with the threaded engine
+Each worker is forked once and then serves *work epochs*: for every epoch
+it runs the unit-of-work protocol shared with the threaded engine
 (:func:`~repro.datacutter.runtime.run_filter_copy` — ``init``, then either
 ``generate`` (source copies split packets round-robin) or a
 ``get``/``process`` loop until end-of-stream, then ``finalize``) and
@@ -10,21 +11,42 @@ reports to the supervisor over the control queue:
   raises;
 * ``("trace", worker_id, spans, queue_samples, blocked)`` with the
   worker-side event buffer when tracing is enabled — spans and queue
-  gauges are recorded into a process-local
+  gauges are recorded into a process-local, per-epoch
   :class:`~repro.datacutter.obs.trace.Trace` (attached to this worker's
-  private post-fork copies of its edges) and shipped wholesale on exit,
-  so process-engine traces are as complete as threaded ones;
+  private post-fork copies of its edges) and shipped at epoch end, so
+  process-engine traces are as complete as threaded ones;
+* ``("shmpool", worker_id, stats)`` with this epoch's *delta* of the
+  worker's :class:`~repro.datacutter.mp.transport.ShmPool` reuse counters
+  (segments stay pooled across epochs on a resident worker — that reuse
+  is part of the warm-path win, and the counters prove it);
 * ``("stats", worker_id, stream, buffers, bytes, by_packet)`` with the
-  producer-side accounting of its output edge;
-* ``("done", worker_id, failed)`` as the final message before exiting.
+  producer-side accounting of its output edge for this epoch;
+* ``("done", worker_id, epoch, failed)`` as the final message of the
+  epoch, tagged so a straggler handshake from epoch N can never satisfy
+  the supervisor's bookkeeping for epoch N+1.
 
-A worker that is killed sends nothing — the supervisor detects that
-through the process sentinel and raises on the caller's side.  Each worker
-also stamps a heartbeat slot (monotonic seconds) before every packet so
-the supervisor's timeout diagnostics can name the slowest/stalled filter.
+After a clean epoch a *resident* worker (``orders`` connection provided,
+``resident=True``) blocks on its order channel for the next instruction:
+
+* ``("epoch", epoch, spec_or_None, progress_or_None, faults_or_None)`` —
+  run another unit of work; a non-``None`` spec rebinds the copy to
+  freshly shipped packets/params/width (values only — the generated
+  filter classes are already in the fork image, anchored by
+  :mod:`repro.codegen.generated_registry`), and the fault plan rides
+  along so injected chaos tracks the engine's current configuration;
+* ``("exit",)`` — the poison pill: tear down the shared-memory pool and
+  leave.
+
+A non-resident worker (fork-per-run mode, and every respawned incarnation
+finishing a failed epoch) exits after its single epoch exactly like the
+pre-pool engine did.  A worker that is killed sends nothing — the
+supervisor detects that through the process sentinel and raises or
+respawns on the caller's side.  Each worker also stamps a heartbeat slot
+(monotonic seconds) before every packet so the supervisor's timeout
+diagnostics can name the slowest/stalled filter.
 
 With recovery enabled (a :class:`~repro.datacutter.recovery.replay.CopyProgress`
-is passed), the worker runs
+is passed for the epoch), the worker runs
 :func:`~repro.datacutter.recovery.replay.run_recoverable_copy` instead and
 additionally streams per-packet progress for the supervisor's restart
 bookkeeping:
@@ -46,6 +68,7 @@ only the final successful attempt (or supervisor teardown) closes it.
 from __future__ import annotations
 
 import os
+import pickle
 import sys
 import time
 import traceback
@@ -57,8 +80,12 @@ from ..recovery.checkpoint import CheckpointError, freeze_state
 from ..recovery.faults import FaultPlan, FaultSpec, make_injector
 from ..recovery.replay import CopyProgress, run_recoverable_copy
 from ..runtime import run_filter_copy
+from ..streams import RoundRobin
 from .channels import ProcessEdge
-from .transport import pool_teardown
+from .transport import pool_stats, pool_teardown
+
+#: shm-pool counters shipped as per-epoch deltas (monotonic in the pool)
+_SHM_COUNTERS = ("hits", "misses", "released", "evicted")
 
 
 class ControlRecoverySink:
@@ -98,20 +125,107 @@ def worker_main(
     trace_enabled: bool = False,
     faults: FaultPlan | None = None,
     progress: CopyProgress | None = None,
+    orders: Any = None,
+    epoch: int = 0,
+    resident: bool = False,
 ) -> None:
+    failed = False
+    shm_base = dict.fromkeys(_SHM_COUNTERS, 0)
+    try:
+        while True:
+            failed = _run_epoch(
+                worker_id, spec, copy_index, in_edge, out_edge, control,
+                heartbeats, epoch, trace_enabled, faults, progress, shm_base,
+            )
+            if failed or not resident or orders is None:
+                break
+            order = _next_order(orders, control, spec, copy_index, worker_id)
+            if order is None:
+                break
+            epoch, new_spec, progress, faults = order
+            if new_spec is not None:
+                spec = new_spec
+    finally:
+        # the worker is exiting for good: unlink its pooled segments
+        # (reuse counters were already shipped per epoch)
+        pool_teardown()
+    if failed:
+        sys.exit(1)
+
+
+def _next_order(
+    orders: Any, control: Any, spec: FilterSpec, copy_index: int, worker_id: int
+) -> tuple[int, FilterSpec | None, CopyProgress | None, FaultPlan | None] | None:
+    """Block until the parent ships the next epoch; None means exit.
+
+    Orders arrive pre-pickled (the parent validates picklability for the
+    whole pool before dispatching any).  Should decoding still fail — a
+    spec referencing a class generated after this worker was forked that
+    slipped past the parent's registry check — the worker reports the
+    traceback and exits without ``done``; the supervisor then sees a
+    sentinel death and either respawns it (a fresh fork *does* have the
+    class in its image) or fails the run with this context attached."""
+    try:
+        data = orders.recv_bytes()
+    except (EOFError, OSError):
+        return None  # parent is gone; nothing left to serve
+    try:
+        order = pickle.loads(data)
+    except Exception:  # noqa: BLE001 - reported to the supervisor
+        label = f"{spec.name}#{copy_index}"
+        try:
+            control.put((
+                "error",
+                label,
+                f"work-epoch order could not be decoded:\n{traceback.format_exc()}",
+                worker_id,
+            ))
+        except Exception:  # pragma: no cover - control pipe gone
+            pass
+        return None
+    if order[0] == "exit":
+        return None
+    _, epoch, new_spec, progress, faults = order
+    return epoch, new_spec, progress, faults
+
+
+def _run_epoch(
+    worker_id: int,
+    spec: FilterSpec,
+    copy_index: int,
+    in_edge: ProcessEdge | None,
+    out_edge: ProcessEdge,
+    control: Any,
+    heartbeats: Any,
+    epoch: int,
+    trace_enabled: bool,
+    faults: FaultPlan | None,
+    progress: CopyProgress | None,
+    shm_base: dict[str, int],
+) -> bool:
+    """One unit of work on this copy; returns True if the filter failed."""
     label = f"{spec.name}#{copy_index}"
     recovery = progress is not None
 
     def beat() -> None:
         heartbeats[worker_id] = time.monotonic()
 
+    # fresh epoch state on this process's private post-fork edge copies:
+    # sentinel tallies, producer stats, and the routing policy all restart
+    # so nothing bleeds over from the previous unit of work
+    if in_edge is not None:
+        in_edge.begin_epoch(epoch)
+    out_edge.begin_epoch(epoch)
+    policy = spec.out_policy or RoundRobin()
+    policy.reset()
+    out_edge.policy = policy
+
     trace = Trace() if trace_enabled else None
-    if trace is not None:
-        # these edge objects are this process's private post-fork copies:
-        # attaching the local buffer cannot race with other workers
-        if in_edge is not None:
-            in_edge.trace = trace
-        out_edge.trace = trace
+    # these edge objects are this process's private post-fork copies:
+    # attaching the local buffer cannot race with other workers
+    if in_edge is not None:
+        in_edge.trace = trace
+    out_edge.trace = trace
 
     ctx = FilterContext(
         name=spec.name,
@@ -155,10 +269,13 @@ def worker_main(
                 out_edge.close_producer()
             except Exception:  # pragma: no cover - queue torn down under us
                 pass
-        # the worker is exiting: unlink its pooled segments and report the
-        # reuse counters (teardown is fork-guard safe — only this process's
-        # own pool entries are touched)
-        shm_stats = pool_teardown()
+        # per-epoch shm-pool delta: pooled segments persist across epochs
+        # on a resident worker, so reuse counters only ever grow — ship
+        # the growth, plus the currently pooled bytes
+        shm_now = pool_stats()
+        shm_delta = {k: shm_now[k] - shm_base[k] for k in _SHM_COUNTERS}
+        shm_delta["pooled_bytes"] = shm_now["pooled_bytes"]
+        shm_base.update({k: shm_now[k] for k in _SHM_COUNTERS})
         try:
             if trace is not None:
                 control.put(
@@ -170,8 +287,8 @@ def worker_main(
                         trace.blocked,
                     )
                 )
-            if any(shm_stats.values()):
-                control.put(("shmpool", worker_id, shm_stats))
+            if any(shm_delta.values()):
+                control.put(("shmpool", worker_id, shm_delta))
             control.put(
                 (
                     "stats",
@@ -182,11 +299,10 @@ def worker_main(
                     dict(out_edge.stats.by_packet),
                 )
             )
-            control.put(("done", worker_id, failed))
+            control.put(("done", worker_id, epoch, failed))
         except Exception:  # pragma: no cover - control pipe gone
             pass
-    if failed:
-        sys.exit(1)
+    return failed
 
 
 def _run_recoverable(

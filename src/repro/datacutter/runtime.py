@@ -90,6 +90,11 @@ class ThreadedPipeline:
             raise ValueError("pipeline needs at least one filter")
         self.specs = list(specs)
 
+    def close(self) -> None:
+        """Lifecycle no-op: threads are created and joined inside each
+        ``run()``, so there is nothing resident to tear down.  Exists so
+        session/pool teardown can treat every engine uniformly."""
+
     def run(self) -> RunResult:
         specs = self.specs
         trace = self.trace

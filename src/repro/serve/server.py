@@ -148,6 +148,9 @@ class PipelineServer:
         self._stop = threading.Event()
         self._draining = False
         self._listener: Any = None
+        #: test hook called with each group's plan just before execution;
+        #: lets deadline tests inject a dispatch stall deterministically
+        self._before_execute: Any = None
 
     # -- lifecycle ----------------------------------------------------------
     def start(self) -> "PipelineServer":
@@ -354,6 +357,29 @@ class PipelineServer:
 
         for key, members in groups.items():
             plan = plans[key]
+            if self._before_execute is not None:
+                self._before_execute(plan)  # test hook: injected dispatch stall
+            # deadlines re-checked *after* batch assembly and any stall,
+            # immediately before execution: a request that expired in the
+            # window between grouping and dispatch must not charge the plan
+            # cache or the engine, and must be counted as expired exactly
+            # once (record_expired here; record_request only bumps `served`
+            # for "ok", and _finish fires at most once per pending)
+            now = time.monotonic()
+            live: list[PendingResponse] = []
+            for pending in members:
+                if pending.request.expired(now):
+                    self.metrics.record_expired()
+                    self._finish(
+                        pending,
+                        status="expired",
+                        error="deadline exceeded before execution",
+                    )
+                else:
+                    live.append(pending)
+            if not live:
+                continue  # nothing left to execute: no cache/engine charge
+            members = live
             t0 = time.perf_counter()
             try:
                 run, cache_hit = self.pool.execute(plan)

@@ -264,6 +264,71 @@ def test_compiled_app_crash_recovery(engine):
 
 
 # ---------------------------------------------------------------------------
+# fault recovery on a resident worker pool
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("kind", ["exception", "crash"])
+@pytest.mark.parametrize("stage", ["src", "mid", "sink"])
+def test_resident_pool_fault_heals_and_next_epoch_clean(kind, stage):
+    """Crash/fail a resident worker mid-epoch N: respawn + checkpoint
+    replay heal epoch N byte-identically, the respawned worker rejoins
+    the pool (no refork), and epoch N+1 runs clean on it."""
+    from repro.datacutter.engine import EngineSession
+
+    baseline = run_pipeline(make_specs(2), options_for("process"))
+    trace = Trace()
+    opts = options_for(
+        "process",
+        trace=trace,
+        retry=FAST_RETRY,
+        faults=[FaultSpec(filter=stage, kind=kind, copy=0, packet=0)],
+    )
+    with EngineSession(opts) as session:
+        faulted = session.run(make_specs(2))
+        assert _canonical_outputs(faulted.outputs) == _canonical_outputs(
+            baseline.outputs
+        )
+        assert len(trace.restarts(stage)) == 1
+        engine = session._engine
+        assert engine._forks == 1
+
+        # epoch N+1: drop the fault plan — the next epoch order ships the
+        # engine's *current* chaos config, so the healed pool runs clean
+        engine.faults = None
+        clean = session.run(make_specs(2))
+        assert _canonical_outputs(clean.outputs) == _canonical_outputs(
+            baseline.outputs
+        )
+        assert engine._forks == 1, "healed pool reforked instead of reusing"
+        assert len(trace.restarts(stage)) == 1, "clean epoch restarted a worker"
+
+
+def test_resident_pool_refires_fault_each_epoch_like_fork_per_run():
+    """Parity: with the fault plan left in place, a resident pool behaves
+    exactly like fork-per-run — the fault fires (and heals) every unit of
+    work, not just the first."""
+    from repro.datacutter.engine import EngineSession
+
+    baseline = run_pipeline(make_specs(2), options_for("process"))
+    trace = Trace()
+    opts = options_for(
+        "process",
+        trace=trace,
+        retry=FAST_RETRY,
+        faults=[FaultSpec(filter="mid", kind="crash", copy=0, packet=0)],
+    )
+    with EngineSession(opts) as session:
+        for expected_restarts in (1, 2):
+            run = session.run(make_specs(2))
+            assert _canonical_outputs(run.outputs) == _canonical_outputs(
+                baseline.outputs
+            )
+            assert len(trace.restarts("mid")) == expected_restarts
+        assert session._engine._forks == 1
+
+
+# ---------------------------------------------------------------------------
 # recovery building blocks
 # ---------------------------------------------------------------------------
 

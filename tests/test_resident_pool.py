@@ -1,0 +1,361 @@
+"""Resident process-engine worker pool: fork-once lifecycle, work epochs,
+refork fallbacks, cross-epoch state hygiene, and close semantics.
+
+The pool contract under test: an :class:`EngineSession` on the process
+engine forks its workers once, on the first run, and every later run is a
+*work epoch* shipped to the same processes over per-worker order
+channels — so worker PIDs are stable across runs, shared-memory segments
+persist and are reused across epochs, and nothing (routing policy state,
+sentinel tallies, stream stats) bleeds from one unit of work into the
+next.  ``close()`` is the single real teardown, and a close racing an
+in-flight run fails that run with a structured error instead of hanging
+or leaking processes.
+"""
+
+import multiprocessing
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.apps import make_knn_service, make_vmscope_service
+from repro.datacutter import (
+    EngineOptions,
+    FaultSpec,
+    Filter,
+    FilterSpec,
+    PipelineError,
+    RetryPolicy,
+    SourceFilter,
+    Trace,
+    run_pipeline,
+)
+from repro.datacutter.engine import EngineSession
+from repro.serve import LocalClient, PipelineServer, ServerOptions, oneshot
+from repro.serve.session import SessionPool
+
+PROC_TIMEOUT = 120.0
+FAST_RETRY = RetryPolicy(max_attempts=3, backoff_base=0.01, jitter=0.0)
+
+
+def proc_options(**overrides) -> EngineOptions:
+    merged = {"engine": "process", "timeout": PROC_TIMEOUT, "death_grace": 0.3}
+    merged.update(overrides)
+    return EngineOptions(**merged)
+
+
+def _no_orphans():
+    deadline = time.monotonic() + 10.0
+    while multiprocessing.active_children() and time.monotonic() < deadline:
+        time.sleep(0.05)
+    assert multiprocessing.active_children() == []
+
+
+class PidSource(SourceFilter):
+    """Yields this worker process's PID once per packet."""
+
+    def generate(self, ctx):
+        for _ in range(ctx.params.get("n", 4)):
+            yield os.getpid()
+
+
+class PidTag(Filter):
+    def process(self, buf, ctx):
+        ctx.write((buf.payload, os.getpid()), buf.packet)
+
+
+def pid_specs(width: int = 2, n: int = 4):
+    return [
+        FilterSpec("src", PidSource, width=width, params={"n": n}),
+        FilterSpec("tag", PidTag, width=1),
+    ]
+
+
+def _pids(run) -> set:
+    pids = set()
+    for src_pid, tag_pid in run.payloads:
+        pids.add(src_pid)
+        pids.add(tag_pid)
+    return pids
+
+
+# ---------------------------------------------------------------------------
+# fork-once lifecycle
+# ---------------------------------------------------------------------------
+
+
+def test_session_forks_once_and_reuses_workers():
+    """Three runs on a warm session: identical worker PIDs, one fork."""
+    with EngineSession(proc_options()) as session:
+        pid_sets = [_pids(session.run(pid_specs())) for _ in range(3)]
+        engine = session._engine
+        assert engine._forks == 1
+        assert engine._reforks == 0
+        assert engine._epoch == 3
+    assert pid_sets[0] == pid_sets[1] == pid_sets[2]
+    assert len(pid_sets[0]) == 3  # 2 source copies + 1 tag copy
+    assert os.getpid() not in pid_sets[0]
+    _no_orphans()
+
+
+def test_resident_false_forks_per_run():
+    """EngineOptions(resident=False): the benchmark's fork-per-run knob."""
+    with EngineSession(proc_options(resident=False)) as session:
+        first = _pids(session.run(pid_specs()))
+        second = _pids(session.run(pid_specs()))
+        assert session._engine._forks == 2
+    assert first != second  # fresh processes each run
+    _no_orphans()
+
+
+def test_oneshot_run_pipeline_still_tears_down():
+    """Without a session, each run forks and joins its own pool."""
+    run = run_pipeline(pid_specs(), proc_options())
+    assert len(_pids(run)) == 3
+    _no_orphans()
+
+
+def test_refork_on_pipeline_shape_change():
+    """A different (name, width) layout cannot ride the order channels:
+    the pool reforks transparently and the run still succeeds."""
+    with EngineSession(proc_options()) as session:
+        narrow = _pids(session.run(pid_specs(width=1)))
+        wide = _pids(session.run(pid_specs(width=2)))
+        engine = session._engine
+        assert engine._forks == 2
+        assert engine._reforks == 1
+    assert len(narrow) == 2
+    assert len(wide) == 3
+    _no_orphans()
+
+
+# ---------------------------------------------------------------------------
+# cross-epoch state hygiene (satellite: warm-reuse state bleed)
+# ---------------------------------------------------------------------------
+
+
+class CountSource(SourceFilter):
+    def generate(self, ctx):
+        for i in range(ctx.params.get("n", 5)):
+            yield i
+
+
+class CopyTagger(Filter):
+    """Payloads record which transparent copy handled them — any routing
+    policy state bleeding across epochs changes the assignment."""
+
+    def process(self, buf, ctx):
+        ctx.write((ctx.copy_index, buf.payload), buf.packet)
+
+
+class SortedGather(Filter):
+    def init(self, ctx):
+        self.seen = []
+
+    def process(self, buf, ctx):
+        self.seen.append(buf.payload)
+
+    def finalize(self, ctx):
+        ctx.write(tuple(sorted(self.seen)), -2)
+
+
+def bleed_specs():
+    # n=5 is deliberately odd: a round-robin policy that is *not* reset
+    # between epochs would start epoch 2 pointing at the other consumer,
+    # flipping every (copy, payload) pair
+    return [
+        FilterSpec("src", CountSource, width=1, params={"n": 5}),
+        FilterSpec("mid", CopyTagger, width=2),
+        FilterSpec("sink", SortedGather, width=1),
+    ]
+
+
+def test_two_runs_byte_identical_on_resident_pool():
+    cold = run_pipeline(bleed_specs(), proc_options()).payloads
+    with EngineSession(proc_options()) as session:
+        warm1 = session.run(bleed_specs()).payloads
+        warm2 = session.run(bleed_specs()).payloads
+        assert session._engine._forks == 1
+    assert warm1 == warm2 == cold
+    _no_orphans()
+
+
+class ArraySource(SourceFilter):
+    def generate(self, ctx):
+        for i in range(ctx.params.get("n", 2)):
+            yield np.full(1024, i, dtype=np.float64)
+
+
+class ArrayRelay(Filter):
+    def process(self, buf, ctx):
+        ctx.write(buf.payload * 2.0, buf.packet)
+
+
+class ArraySum(Filter):
+    def init(self, ctx):
+        self.total = 0.0
+
+    def process(self, buf, ctx):
+        self.total += float(buf.payload.sum())
+
+    def finalize(self, ctx):
+        ctx.write(self.total, -2)
+
+
+def shm_specs():
+    return [
+        FilterSpec("src", ArraySource, width=1, params={"n": 3}),
+        FilterSpec("mid", ArrayRelay, width=1),
+        FilterSpec("sink", ArraySum, width=1),
+    ]
+
+
+def test_shm_segments_persist_and_reuse_across_epochs():
+    """Resident workers keep their ShmPool warm between epochs: segments
+    are still pooled at epoch end (not unlinked) and the next epoch's
+    encodes hit them; the per-run trace note carries the counters."""
+    trace = Trace()
+    opts = proc_options(trace=trace, shm_min_bytes=1024)
+    with EngineSession(opts) as session:
+        session.run(shm_specs())
+        first = dict(trace.meta["shm_pool"])
+        assert first["pooled_bytes"] > 0  # segments survive the epoch
+        assert trace.meta["worker_pool"]["resident"] is True
+        session.run(shm_specs())
+        second = dict(trace.meta["shm_pool"])
+        assert second["hits"] > 0  # epoch 2 reused pooled segments
+        assert trace.meta["worker_pool"]["epoch"] == 2
+        assert trace.meta["worker_pool"]["forks"] == 1
+    _no_orphans()
+
+
+# ---------------------------------------------------------------------------
+# close semantics (satellite: close racing an in-flight run)
+# ---------------------------------------------------------------------------
+
+
+class StalledFilter(Filter):
+    def process(self, buf, ctx):
+        time.sleep(30.0)
+        ctx.write(buf.payload, buf.packet)
+
+
+def stalled_specs():
+    return [
+        FilterSpec("src", CountSource, width=1, params={"n": 2}),
+        FilterSpec("stall", StalledFilter, width=1),
+    ]
+
+
+def test_close_racing_inflight_run_fails_structured():
+    session = EngineSession(proc_options())
+    outcome: list = []
+
+    def runner():
+        try:
+            session.run(stalled_specs())
+            outcome.append(("ok", None))
+        except BaseException as err:  # noqa: BLE001 - recorded for asserts
+            outcome.append(("raised", err))
+
+    t = threading.Thread(target=runner, daemon=True)
+    t.start()
+    time.sleep(1.0)  # let the workers fork and wedge inside the stall
+    t_close = time.monotonic()
+    session.close()
+    close_seconds = time.monotonic() - t_close
+    t.join(timeout=30)
+    assert not t.is_alive(), "run() hung after close()"
+    assert close_seconds < 15.0, "close() waited out the stalled filter"
+
+    status, err = outcome[0]
+    assert status == "raised"
+    assert isinstance(err, PipelineError)
+    assert "closed while a unit of work was in flight" in str(err)
+
+    with pytest.raises(RuntimeError, match="closed"):
+        session.run(stalled_specs())
+    _no_orphans()
+
+
+def test_session_pool_close_then_execute_raises():
+    pool = SessionPool(proc_options())
+    pool.close()
+    service = make_knn_service(n_points=500, num_packets=2)
+    with pytest.raises(RuntimeError, match="closed"):
+        pool.execute(service.plan({"x": 0.5, "y": 0.5, "z": 0.5}))
+    _no_orphans()
+
+
+def test_close_is_idempotent():
+    with EngineSession(proc_options()) as session:
+        session.run(pid_specs())
+        session.close()
+        session.close()
+    _no_orphans()
+
+
+# ---------------------------------------------------------------------------
+# serve bursts on the resident pool (acceptance: byte-identical, with and
+# without an injected mid-epoch crash)
+# ---------------------------------------------------------------------------
+
+KNN_KW = dict(n_points=2_000, num_packets=3)
+VM_KW = dict(image_w=96, image_h=96, tile=32, num_packets=3)
+
+
+def _mixed_requests(n: int) -> list:
+    requests = []
+    for i in range(n):
+        if i % 2 == 0:
+            x = 0.1 + (i % 5) * 0.05
+            requests.append(("knn", {"x": x, "y": x, "z": x}))
+        else:
+            requests.append(("vmscope", {"query": "large" if i % 3 else "small"}))
+    return requests
+
+
+def _burst_matches_oneshot(engine_options, n_requests: int) -> None:
+    services = [make_knn_service(**KNN_KW), make_vmscope_service(**VM_KW)]
+    by_kind = {s.name: s for s in services}
+    requests = _mixed_requests(n_requests)
+    baselines = {}
+    for kind, body in requests:
+        key = (kind, tuple(sorted(body.items())))
+        if key not in baselines:
+            baselines[key] = oneshot(by_kind[kind].plan(body))
+    opts = ServerOptions(
+        engine_options=engine_options,
+        max_batch=16,
+        batch_deadline=0.02,
+        max_queue=2 * n_requests,
+    )
+    with PipelineServer(services, opts) as server:
+        client = LocalClient(server, timeout=600.0)
+        responses = client.burst(requests)
+    assert all(r.ok for r in responses), [
+        (r.status, r.error) for r in responses if not r.ok
+    ][:1]
+    for (kind, body), response in zip(requests, responses):
+        expect = baselines[(kind, tuple(sorted(body.items())))]
+        assert response.value.tobytes() == expect.tobytes()
+    _no_orphans()
+
+
+def test_serve_burst_on_resident_pool_matches_oneshot():
+    _burst_matches_oneshot(proc_options(), 30)
+
+
+def test_serve_burst_heals_injected_mid_epoch_crash():
+    """A worker crash mid-epoch on the resident pool is healed in place
+    (respawn + checkpoint replay) — every response in the burst still
+    byte-matches the one-shot baseline."""
+    _burst_matches_oneshot(
+        proc_options(
+            retry=FAST_RETRY,
+            faults=[FaultSpec(filter="gen_unit1", kind="crash", copy=0, packet=0)],
+        ),
+        12,
+    )

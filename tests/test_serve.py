@@ -337,6 +337,29 @@ class TestServer:
             assert response.status == "expired"
             assert not response.ok
 
+    def test_deadline_expiring_before_execution_counted_once(self, knn_service):
+        """A request alive at batch assembly but expired by execution time
+        (here: an injected dispatch stall) returns status='expired'
+        without charging the plan cache or the engine, and the metrics
+        count it exactly once."""
+        opts = ServerOptions(max_batch=4, batch_deadline=0.01)
+        with PipelineServer([knn_service], opts) as server:
+            server._before_execute = lambda plan: time.sleep(0.4)
+            response = server.submit(
+                "knn", {"x": 0.1}, deadline=0.2
+            ).result(timeout=30)
+            assert response.status == "expired"
+            assert "before execution" in response.error
+            stats = server.metrics.snapshot()
+            assert stats["expired"] == 1
+            assert stats["served"] == 0
+            assert stats["errors"] == 0
+            # the whole group expired: neither the engine nor the plan
+            # cache was charged for work nobody could use
+            assert stats["executions"] == 0
+            assert server.pool.session.runs == 0
+            assert server.cache.stats.lookups == 0
+
     def test_reject_policy_resolves_future(self, knn_service):
         opts = ServerOptions(
             admission="reject", max_queue=1, max_batch=1, batch_deadline=0.0
