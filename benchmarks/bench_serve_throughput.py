@@ -23,6 +23,15 @@ encoding, and two thread hops per request.  Socket responses are
 verified byte-identical to the one-shot baselines too, and the
 socket-vs-one-shot ratio carries its own floor (>=4x local, >=2x on CI).
 
+A fifth mode (``--fuse``) measures **request fusion**: a burst of 32
+*distinct* knn query points — equal-``group_key`` coalescing gets no
+purchase, so the unfused server runs one engine execution per query —
+against the same server with fusion on, where the whole burst merges
+into one lane-batched execution of the compiled pipeline.  Fused
+responses are verified byte-identical to one-shot baselines, and the
+fused-vs-coalesced throughput ratio carries its own floor (>=3x local,
+>=1.5x advisory on CI).
+
 A fourth mode isolates the **resident process-engine worker pool**:
 sequential (unbatched) requests against two otherwise-identical
 process-engine servers, one with ``EngineOptions(resident=False)``
@@ -66,6 +75,10 @@ SOCKET_CI_FLOOR = 2.0
 #: per-request latency must drop by at least this factor
 RESIDENT_EXPECTED_SPEEDUP = 2.0
 RESIDENT_CI_FLOOR = 1.2
+#: fused lane-batched burst vs unfused equal-group_key coalescing on a
+#: burst of distinct knn queries
+FUSION_EXPECTED_SPEEDUP = 3.0
+FUSION_CI_FLOOR = 1.5
 
 N_REQUESTS = 60
 #: distinct request bodies in the burst (coalescing + cache-hit fodder)
@@ -83,6 +96,10 @@ def enforced_socket_floor() -> float:
 
 def enforced_resident_floor() -> float:
     return RESIDENT_CI_FLOOR if os.environ.get("CI") else RESIDENT_EXPECTED_SPEEDUP
+
+
+def enforced_fusion_floor() -> float:
+    return FUSION_CI_FLOOR if os.environ.get("CI") else FUSION_EXPECTED_SPEEDUP
 
 
 def make_services():
@@ -161,6 +178,99 @@ def measure() -> dict:
     }
 
 
+#: distinct knn query points in the fusion burst — every one a separate
+#: coalescing group, so the unfused server cannot merge any of them
+N_FUSION_QUERIES = 32
+
+
+def fusion_burst(n: int = N_FUSION_QUERIES) -> list:
+    """``n`` knn requests with pairwise-distinct query points (strided
+    residues keep them deterministic without an RNG)."""
+    out = []
+    for i in range(n):
+        out.append(
+            (
+                "knn",
+                {
+                    "x": round((i * 37 % n) / n + 0.01, 6),
+                    "y": round((i * 17 % n) / n + 0.02, 6),
+                    "z": round((i * 29 % n) / n + 0.03, 6),
+                },
+            )
+        )
+    return out
+
+
+#: timed burst repetitions per fusion mode; the fastest repeat is the
+#: recorded wall (scheduler/GC hiccups otherwise dominate the ~70 ms
+#: fused burst and make the ratio flap around the floor)
+N_FUSION_REPEATS = 3
+
+
+def measure_fusion() -> dict:
+    """Fused vs unfused serving of one burst of distinct knn queries.
+
+    Both servers are identical (threaded engine, one warm session, plan
+    cache) except ``ServerOptions.fuse``; a warmup burst outside the
+    timed window fills the plan cache in both modes, so the comparison is
+    executions-per-burst, not compile time.  Each mode's burst is timed
+    ``N_FUSION_REPEATS`` times against the warm server and the fastest
+    repeat is recorded."""
+    requests = fusion_burst()
+    knn = make_knn_service(n_points=4_000, num_packets=4)
+    baselines = [oneshot(knn.plan(body)) for _, body in requests]
+
+    modes: dict = {"requests": len(requests)}
+    for mode, fuse in (("coalesced", False), ("fused", True)):
+        options = ServerOptions(
+            max_batch=len(requests),
+            batch_deadline=0.02,
+            max_queue=4 * len(requests),
+            fuse=fuse,
+            max_fuse_lanes=len(requests),
+        )
+        server = PipelineServer(
+            [make_knn_service(n_points=4_000, num_packets=4)], options
+        )
+        with server:
+            client = LocalClient(server, timeout=600.0)
+            warm = client.burst(requests)
+            assert all(r.ok for r in warm), [
+                (r.status, r.error) for r in warm if not r.ok
+            ][:1]
+            wall = float("inf")
+            for _ in range(N_FUSION_REPEATS):
+                t0 = time.perf_counter()
+                responses = client.burst(requests)
+                wall = min(wall, time.perf_counter() - t0)
+            stats = client.stats()
+        assert all(r.ok for r in responses), [
+            (r.status, r.error) for r in responses if not r.ok
+        ][:1]
+        for response, expect in zip(responses, baselines):
+            assert response.value.tobytes() == expect.tobytes(), (
+                f"{mode} response #{response.id} diverged from its "
+                "one-shot baseline"
+            )
+        modes[mode] = {
+            "wall_s": round(wall, 4),
+            "req_per_s": round(len(requests) / wall, 2),
+            "executions": stats["executions"],
+            # warmup + N_FUSION_REPEATS timed bursts hit the server
+            "executions_per_burst": stats["executions"]
+            // (N_FUSION_REPEATS + 1),
+            "fused_executions": stats["fusion"]["fused_executions"],
+            "mean_lanes_per_fused_execution": stats["fusion"][
+                "mean_lanes_per_fused_execution"
+            ],
+            "fuse_bypass": stats["fusion"]["bypass"],
+        }
+    modes["fusion_speedup"] = round(
+        modes["coalesced"]["wall_s"] / modes["fused"]["wall_s"], 2
+    )
+    return modes
+
+
 #: sequential per-request latency sample size for the resident-pool mode
 N_LATENCY = 20
 
@@ -229,6 +339,11 @@ def resident_measured() -> dict:
     return measure_resident_latency()
 
 
+@pytest.fixture(scope="module")
+def fusion_measured() -> dict:
+    return measure_fusion()
+
+
 def test_serve_throughput_speedup(measured):
     row = measured
     print(
@@ -249,6 +364,18 @@ def test_socket_throughput_speedup(measured):
     assert row["socket_speedup"] >= enforced_socket_floor(), row
 
 
+def test_fusion_throughput_speedup(fusion_measured):
+    row = fusion_measured
+    print(
+        f"\nfused {row['fused']['req_per_s']:.1f} req/s "
+        f"({row['fused']['executions_per_burst']} executions/burst) vs "
+        f"coalesced {row['coalesced']['req_per_s']:.1f} req/s "
+        f"({row['coalesced']['executions_per_burst']} executions/burst) on "
+        f"{row['requests']} distinct queries: {row['fusion_speedup']:.1f}x"
+    )
+    assert row["fusion_speedup"] >= enforced_fusion_floor(), row
+
+
 def test_resident_pool_latency_speedup(resident_measured):
     row = resident_measured
     print(
@@ -261,7 +388,43 @@ def test_resident_pool_latency_speedup(resident_measured):
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via CI artifact
-    out_path = sys.argv[1] if len(sys.argv) > 1 else "serve_throughput.json"
+    argv = [a for a in sys.argv[1:]]
+    fuse_only = "--fuse" in argv
+    if fuse_only:
+        argv.remove("--fuse")
+    out_path = argv[0] if argv else (
+        "serve_fusion.json" if fuse_only else "serve_throughput.json"
+    )
+
+    fusion_floor = enforced_fusion_floor()
+    fusion_row = measure_fusion()
+    print(
+        f"{'mode':<10} {'wall':>8} {'req/s':>8} {'exec/burst':>11}\n"
+        f"{'coalesced':<10} {fusion_row['coalesced']['wall_s']:>7.2f}s "
+        f"{fusion_row['coalesced']['req_per_s']:>8.1f} "
+        f"{fusion_row['coalesced']['executions_per_burst']:>11}\n"
+        f"{'fused':<10} {fusion_row['fused']['wall_s']:>7.2f}s "
+        f"{fusion_row['fused']['req_per_s']:>8.1f} "
+        f"{fusion_row['fused']['executions_per_burst']:>11}\n"
+        f"fusion speedup {fusion_row['fusion_speedup']:.1f}x on "
+        f"{fusion_row['requests']} distinct knn queries  "
+        f"(mean lanes/fused execution "
+        f"{fusion_row['fused']['mean_lanes_per_fused_execution']:.1f})"
+    )
+    if fuse_only:
+        report = {
+            "fusion_expected_min_speedup": FUSION_EXPECTED_SPEEDUP,
+            "fusion_enforced_floor": fusion_floor,
+            "fusion": fusion_row,
+        }
+        with open(out_path, "w") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"wrote {out_path}")
+        if fusion_row["fusion_speedup"] < fusion_floor:
+            print(f"FAIL: fusion throughput speedup below {fusion_floor}x")
+            sys.exit(1)
+        sys.exit(0)
+
     floor = enforced_floor()
     socket_floor = enforced_socket_floor()
     resident_floor = enforced_resident_floor()
@@ -274,7 +437,10 @@ if __name__ == "__main__":  # pragma: no cover - exercised via CI artifact
         "socket_enforced_floor": socket_floor,
         "resident_expected_min_speedup": RESIDENT_EXPECTED_SPEEDUP,
         "resident_enforced_floor": resident_floor,
+        "fusion_expected_min_speedup": FUSION_EXPECTED_SPEEDUP,
+        "fusion_enforced_floor": fusion_floor,
         "process_engine_latency": resident_row,
+        "fusion": fusion_row,
         **row,
     }
     print(
@@ -306,4 +472,7 @@ if __name__ == "__main__":  # pragma: no cover - exercised via CI artifact
         sys.exit(1)
     if resident_row["median_latency_speedup"] < resident_floor:
         print(f"FAIL: resident-pool latency speedup below {resident_floor}x")
+        sys.exit(1)
+    if fusion_row["fusion_speedup"] < fusion_floor:
+        print(f"FAIL: fusion throughput speedup below {fusion_floor}x")
         sys.exit(1)

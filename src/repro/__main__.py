@@ -340,6 +340,8 @@ def _cmd_serve_listen(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         batch_deadline=args.batch_deadline,
         max_frame_bytes=args.max_frame,
+        fuse=args.fuse,
+        max_fuse_lanes=args.max_fuse_lanes,
     )
     server = PipelineServer(_serve_services(args), options)
     stop = threading.Event()
@@ -358,6 +360,7 @@ def _cmd_serve_listen(args: argparse.Namespace) -> int:
         signal.signal(signal.SIGTERM, previous)
     print(
         f"served: {stats['served']}  executions: {stats['executions']}  "
+        f"fused: {stats['fusion']['fused_executions']}  "
         f"connections: {stats['transport']['connections_opened']}  "
         f"decode errors: {stats['transport']['decode_errors']}"
     )
@@ -406,6 +409,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_batch=args.max_batch,
             batch_deadline=args.batch_deadline,
             max_frame_bytes=args.max_frame,
+            fuse=args.fuse,
+            max_fuse_lanes=args.max_fuse_lanes,
         )
         server = PipelineServer(services, options).start()
         client = LocalClient(server, timeout=600.0)
@@ -434,6 +439,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"  executions: {stats['executions']}  "
         f"plan-cache hits: {stats['plan_cache_hits']}  "
         f"mean batch occupancy: {stats['batch_occupancy_mean']:.2f}"
+    )
+    fusion = stats["fusion"]
+    bypass = ", ".join(
+        f"{reason}={count}" for reason, count in sorted(fusion["bypass"].items())
+    )
+    print(
+        f"  fused executions: {fusion['fused_executions']}  "
+        f"lanes: {fusion['fused_lanes']}  "
+        f"mean lanes/fused: {fusion['mean_lanes_per_fused_execution']:.2f}  "
+        f"bypass: {bypass or 'none'}"
     )
     lat = stats["latency"]
     print(
@@ -762,6 +777,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument(
         "--max-batch", type=int, default=16, help="micro-batch size budget"
+    )
+    p_serve.add_argument(
+        "--fuse",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="fuse distinct-param requests of a fusable service into one "
+        "lane-batched execution (--no-fuse falls back to equal-param "
+        "coalescing only)",
+    )
+    p_serve.add_argument(
+        "--max-fuse-lanes",
+        type=int,
+        default=32,
+        help="cap on lanes per fused execution (default 32)",
     )
     p_serve.add_argument(
         "--batch-deadline",

@@ -19,6 +19,7 @@ from .knn import (
     knn_oracle,
     make_knn_app,
     make_knn_class,
+    make_knn_lanes_class,
     make_knn_service,
     manual_knn_specs,
 )
@@ -47,6 +48,7 @@ __all__ = [
     "make_cube_dataset",
     "make_knn_app",
     "make_knn_class",
+    "make_knn_lanes_class",
     "make_knn_service",
     "make_point_dataset",
     "make_tile_dataset",

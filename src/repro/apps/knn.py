@@ -175,6 +175,172 @@ def make_knn_class(k: int) -> type:
     return register_generated(KNN)
 
 
+#: process-wide cache of registered lane classes — one stable pickle
+#: anchor (and therefore one plan-cache identity) per (k, lanes) bucket
+_LANE_CLASSES: dict[tuple[int, int], type] = {}
+
+
+def make_knn_lanes_class(k: int, lanes: int) -> type:
+    """Lane-batched candidate set: ``lanes`` independent k-NN searches
+    folded by the *same* compiled pipeline in one pass.
+
+    The fused plan ships the query point as ``(lanes, 1)``-shaped runtime
+    params, so the generated per-record arithmetic broadcasts every
+    distance to a ``(lanes, 1)`` column (scalar backend) or a
+    ``(lanes, n)`` block (vector backend); this class folds those lane-wise
+    exactly as :func:`make_knn_class` folds scalars, keeping the k
+    lexicographically smallest (d, x, y, z) per lane.  ``pack`` flattens
+    to the same 1-D wire shape the single-lane class ships; ``lane_rows``
+    demuxes one lane's canonical result, byte-identical to a single-query
+    run."""
+    key = (k, lanes)
+    cached = _LANE_CLASSES.get(key)
+    if cached is not None:
+        return cached
+    # scalar inserts buffer into a pending list and fold in slabs, so the
+    # per-record path stays O(1) numpy calls amortized
+    cut_width = max(4 * k, 32)
+
+    class KNNLanes:
+        K = k
+        LANES = lanes
+
+        def __init__(self) -> None:
+            self.dist = np.zeros((lanes, 0))
+            self.px = np.zeros((lanes, 0))
+            self.py = np.zeros((lanes, 0))
+            self.pz = np.zeros((lanes, 0))
+            self._pend: list[tuple[np.ndarray, float, float, float]] = []
+
+        def insert(self, d, x: float, y: float, z: float) -> None:
+            # d arrives (lanes, 1): the record's distance to every query
+            self._pend.append(
+                (
+                    np.asarray(d, dtype=np.float64).reshape(lanes),
+                    float(x),
+                    float(y),
+                    float(z),
+                )
+            )
+            if len(self._pend) >= cut_width:
+                self._flush()
+
+        def _flush(self) -> None:
+            if not self._pend:
+                return
+            m = len(self._pend)
+            d = np.stack([p[0] for p in self._pend], axis=1)
+            xs = np.array([p[1] for p in self._pend])
+            ys = np.array([p[2] for p in self._pend])
+            zs = np.array([p[3] for p in self._pend])
+            self._pend = []
+            self.dist = np.concatenate([self.dist, d], axis=1)
+            self.px = np.concatenate(
+                [self.px, np.broadcast_to(xs, (lanes, m))], axis=1
+            )
+            self.py = np.concatenate(
+                [self.py, np.broadcast_to(ys, (lanes, m))], axis=1
+            )
+            self.pz = np.concatenate(
+                [self.pz, np.broadcast_to(zs, (lanes, m))], axis=1
+            )
+            self._select_k()
+
+        def batch_insert(self, d, x, y, z) -> None:
+            """Columnar fold for the vector backend: ``d`` arrives
+            ``(lanes, n)`` (packet columns broadcast against the
+            ``(lanes, 1)`` query params), x/y/z as ``(n,)`` columns."""
+            self._flush()
+            d = np.asarray(d, dtype=np.float64)
+            if d.ndim == 0:
+                d = d.reshape(1)
+            if d.ndim == 1:
+                d = np.broadcast_to(d, (lanes, d.shape[0]))
+            n = d.shape[1]
+            cols = [
+                np.broadcast_to(np.asarray(c, dtype=np.float64), (lanes, n))
+                for c in (x, y, z)
+            ]
+            self.dist = np.concatenate([self.dist, d], axis=1)
+            self.px = np.concatenate([self.px, cols[0]], axis=1)
+            self.py = np.concatenate([self.py, cols[1]], axis=1)
+            self.pz = np.concatenate([self.pz, cols[2]], axis=1)
+            self._select_k()
+
+        def merge(self, other: "KNNLanes") -> None:
+            self._flush()
+            other._flush()
+            self.dist = np.concatenate([self.dist, other.dist], axis=1)
+            self.px = np.concatenate([self.px, other.px], axis=1)
+            self.py = np.concatenate([self.py, other.py], axis=1)
+            self.pz = np.concatenate([self.pz, other.pz], axis=1)
+            self._select_k()
+
+        def _select_k(self) -> None:
+            if self.dist.shape[1] > k:
+                order = np.lexsort((self.pz, self.py, self.px, self.dist))[
+                    :, :k
+                ]
+                self.dist = np.take_along_axis(self.dist, order, axis=1)
+                self.px = np.take_along_axis(self.px, order, axis=1)
+                self.py = np.take_along_axis(self.py, order, axis=1)
+                self.pz = np.take_along_axis(self.pz, order, axis=1)
+
+        def pack(self) -> dict[str, np.ndarray]:
+            # cut before shipping so a packet still crosses the boundary
+            # as lanes*k candidates, then flatten to the single-lane wire
+            # shape (every lane holds the same count, so unpack's
+            # reshape(lanes, -1) is exact)
+            self._flush()
+            self._select_k()
+            return {
+                "dist": self.dist.reshape(-1).copy(),
+                "px": self.px.reshape(-1).copy(),
+                "py": self.py.reshape(-1).copy(),
+                "pz": self.pz.reshape(-1).copy(),
+            }
+
+        @classmethod
+        def unpack(cls, packed: dict[str, np.ndarray]) -> "KNNLanes":
+            obj = cls()
+            obj.dist = packed["dist"].reshape(lanes, -1).copy()
+            obj.px = packed["px"].reshape(lanes, -1).copy()
+            obj.py = packed["py"].reshape(lanes, -1).copy()
+            obj.pz = packed["pz"].reshape(lanes, -1).copy()
+            return obj
+
+        def lane_rows(self, lane: int) -> np.ndarray:
+            """One lane's canonical sorted (dist, x, y, z) rows — the
+            same array a single-query run's ``rows()`` returns."""
+            self._flush()
+            d = self.dist[lane]
+            x = self.px[lane]
+            y = self.py[lane]
+            z = self.pz[lane]
+            order = np.lexsort((z, y, x, d))
+            return np.stack(
+                [d[order], x[order], y[order], z[order]], axis=1
+            )
+
+        def rows(self) -> np.ndarray:
+            """All lanes stacked, each in canonical order (debug aid)."""
+            self._flush()
+            return np.stack(
+                [self.lane_rows(lane) for lane in range(lanes)], axis=0
+            )
+
+        @property
+        def nbytes(self) -> int:
+            return (
+                self.dist.nbytes + self.px.nbytes + self.py.nbytes + self.pz.nbytes
+            )
+
+    KNNLanes.__name__ = f"KNNLanes{k}x{lanes}"
+    cls = register_generated(KNNLanes)
+    _LANE_CLASSES[key] = cls
+    return cls
+
+
 def knn_oracle(points: np.ndarray, q: tuple[float, float, float], k: int):
     """Vectorized exact reference."""
     d = ((points - np.asarray(q)) ** 2).sum(axis=1)
@@ -266,6 +432,19 @@ def _knn_extract(payloads: list) -> np.ndarray:
     return payloads[-1]["result"].rows()
 
 
+def _knn_extract_lane(payloads: list, lane: int) -> np.ndarray:
+    """Fused-plan demux: one lane's canonical rows — byte-identical to
+    what :func:`_knn_extract` returns for that query run alone."""
+    return payloads[-1]["result"].lane_rows(lane)
+
+
+def _knn_extract_all(payloads: list) -> list[np.ndarray]:
+    """Whole-plan extract of a fused run (diagnostic path; the server
+    demuxes per lane via ``extract_lane``)."""
+    result = payloads[-1]["result"]
+    return [result.lane_rows(lane) for lane in range(result.LANES)]
+
+
 class KnnService:
     """Serves k-NN queries over one resident point dataset.
 
@@ -273,7 +452,14 @@ class KnnService:
     (``qx``/``qy``/``qz``), so every query shares a single plan-cache
     entry: the first request compiles, every later request — any query
     point — streams straight through the warm pipeline.  Requests with
-    identical query points coalesce into one execution."""
+    identical query points coalesce into one execution, and the service
+    opts into request fusion (``ServicePlan.fuse_key``): *distinct*
+    query points in one micro-batch merge into a single lane-batched
+    execution whose ``(lanes, 1)``-shaped query params broadcast through
+    the unchanged dialect source, one plan-cache entry per (k, lane
+    bucket) — lane counts round up to a power of two, padded with a
+    duplicate of the last query, so fused plans stay cache-warm across
+    varying batch widths."""
 
     name = "knn"
 
@@ -289,6 +475,7 @@ class KnnService:
         from ..core.compiler import CompileOptions
         from ..cost.environment import cluster_config
 
+        self.k = k
         self.app = make_knn_app(k)
         self.workload = self.app.make_workload(
             n_points=n_points, num_packets=num_packets
@@ -302,6 +489,16 @@ class KnnService:
             method_costs=dict(self.app.method_costs),
             backend=backend,
         )
+        # fusion compatibility identity: everything that must match for
+        # two plans to ride one batched run — dataset, k, decomposition
+        # inputs — excluding the per-request query point
+        self._fuse_key = (
+            f"{self.workload.label}/packets={num_packets}"
+            f"/w={width}/{backend}/{objective}"
+        )
+        #: per lane-bucket CompileOptions (stable identity keeps the
+        #: plan cache warm: one entry per (service, k, bucket))
+        self._lane_options: dict[int, Any] = {}
 
     def plan(self, body):
         from ..serve.requests import ServicePlan
@@ -318,6 +515,53 @@ class KnnService:
             packets=self.workload.packets,
             params=params,
             extract=_knn_extract,
+            fuse_key=self._fuse_key,
+            fuse=self.fuse_plans,
+        )
+
+    def fuse_plans(self, plans):
+        """Combine distinct-query plans into one lane-batched plan.
+
+        Lane *i* of the fused run answers ``plans[i]``.  The lane count
+        rounds up to the next power of two (padding with the last real
+        query) so the compiled plan — keyed by the lane-batched runtime
+        class — is reused across nearby batch widths."""
+        from ..serve.requests import ServicePlan
+
+        n_real = len(plans)
+        bucket = 1 << max(1, (n_real - 1).bit_length())
+        lanes_cls = make_knn_lanes_class(self.k, bucket)
+        options = self._lane_options.get(bucket)
+        if options is None:
+            options = self.options.replace(
+                runtime_classes={"KNN": lanes_cls}
+            )
+            self._lane_options[bucket] = options
+        qx = np.zeros((bucket, 1))
+        qy = np.zeros((bucket, 1))
+        qz = np.zeros((bucket, 1))
+        for i, plan in enumerate(plans):
+            qx[i, 0] = plan.params["qx"]
+            qy[i, 0] = plan.params["qy"]
+            qz[i, 0] = plan.params["qz"]
+        qx[n_real:, 0] = qx[n_real - 1, 0]
+        qy[n_real:, 0] = qy[n_real - 1, 0]
+        qz[n_real:, 0] = qz[n_real - 1, 0]
+        params = dict(self.workload.params)
+        params["qx"], params["qy"], params["qz"] = qx, qy, qz
+        params["knn_class"] = lanes_cls
+        return ServicePlan(
+            service=self.name,
+            group_key=f"fused[{n_real}/{bucket}]"
+            + ";".join(plan.group_key for plan in plans),
+            source=self.app.source,
+            registry=self.app.registry,
+            options=options,
+            packets=self.workload.packets,
+            params=params,
+            extract=_knn_extract_all,
+            extract_lane=_knn_extract_lane,
+            lanes=n_real,
         )
 
 

@@ -377,6 +377,10 @@ class VmscopeService:
             packets=workload.packets,
             params=dict(workload.params),
             extract=_vmscope_extract,
+            # explicit protocol opt-out: each preset compiles its own
+            # query-specialized VImage class, so there are no per-request
+            # runtime params to stack into lanes — not fusable
+            fuse_key=None,
         )
 
 

@@ -14,8 +14,9 @@ Rather than invent a metrics registry, the server feeds the same
   accept/close, plus transport counters (connections, frames and bytes
   in/out, decode errors, mid-stream disconnects) fed by
   :mod:`repro.serve.transport`;
-* counters (admitted / rejected / shed / expired / errors) in the trace
-  metadata.
+* counters (admitted / rejected / shed / expired / errors, plus request
+  fusion: fused executions, lanes per execution, and per-reason fusion
+  bypasses) in the trace metadata.
 
 Everything therefore exports through the stock JSON-lines exporter
 (:func:`~repro.datacutter.obs.write_jsonl`) and round-trips through
@@ -55,6 +56,11 @@ class ServerMetrics:
         self.cache_hits = 0
         self._occupancy_sum = 0
         self._batches = 0
+        # request fusion (lane-batched executions over distinct params)
+        self.fused_executions = 0
+        self.fused_lanes = 0
+        self._group_sum = 0
+        self.fuse_bypass: dict[str, int] = {}
         # transport counters (socket connections and wire frames)
         self.connections_opened = 0
         self.connections_closed = 0
@@ -100,17 +106,37 @@ class ServerMetrics:
             self._batches += 1
 
     def record_execution(
-        self, kind: str, t0: float, t1: float, group_size: int, cache_hit: bool
+        self,
+        kind: str,
+        t0: float,
+        t1: float,
+        group_size: int,
+        cache_hit: bool,
+        lanes: int = 1,
     ) -> int:
-        """One pipeline execution served ``group_size`` coalesced requests;
-        returns the execution sequence number."""
+        """One pipeline execution served ``group_size`` coalesced requests
+        across ``lanes`` fused lanes (1 = not fused); returns the execution
+        sequence number."""
         with self._lock:
             self.executions += 1
             if cache_hit:
                 self.cache_hits += 1
+            self._group_sum += group_size
+            if lanes > 1:
+                self.fused_executions += 1
+                self.fused_lanes += lanes
             seq = self.executions
         self.trace.record_span(Span(f"execute.{kind}", 0, "execute", seq, t0, t1))
         return seq
+
+    def record_fuse_bypass(self, reason: str) -> None:
+        """One execution group skipped fusion (``disabled`` — the server
+        turned it off, ``unsupported`` — the service advertises
+        ``fuse_key=None``, ``single-lane`` — the group collapsed to one
+        distinct param set, ``fuse-error`` — the combiner raised and the
+        group fell back to unfused coalescing)."""
+        with self._lock:
+            self.fuse_bypass[reason] = self.fuse_bypass.get(reason, 0) + 1
 
     # -- transport ----------------------------------------------------------
     def record_connection_open(self, active: int) -> None:
@@ -196,6 +222,21 @@ class ServerMetrics:
                 "plan_cache_hits": self.cache_hits,
                 "batches": self._batches,
             }
+            fusion = {
+                "fused_executions": self.fused_executions,
+                "fused_lanes": self.fused_lanes,
+                "mean_lanes_per_fused_execution": round(
+                    self.fused_lanes / self.fused_executions, 3
+                )
+                if self.fused_executions
+                else 0.0,
+                "mean_group_size": round(
+                    self._group_sum / self.executions, 3
+                )
+                if self.executions
+                else 0.0,
+                "bypass": dict(self.fuse_bypass),
+            }
             transport = {
                 "connections_opened": self.connections_opened,
                 "connections_closed": self.connections_closed,
@@ -209,6 +250,7 @@ class ServerMetrics:
             }
         return {
             **counters,
+            "fusion": fusion,
             "transport": transport,
             "batch_occupancy_mean": round(self.mean_batch_occupancy(), 3),
             "queue_depth_max": self.queue_depth_max(),

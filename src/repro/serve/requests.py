@@ -15,6 +15,19 @@ value from the pipeline's final payloads.  Requests whose plans share a
 ``group_key`` are *compatible*: the dispatcher executes the pipeline once
 for the whole group and demultiplexes the result to every member.
 
+Services may additionally opt into **request fusion** — merging requests
+whose runtime params *differ* into one lane-batched execution.  The
+protocol is three ``ServicePlan`` fields: ``fuse_key`` (the compatibility
+identity *excluding* per-request params; ``None`` opts out), ``fuse``
+(a combiner taking the distinct plans of one fusion group and returning
+a single plan whose params carry a lane-indexed batch), and — on the
+combined plan — ``extract_lane`` (the per-lane demultiplexer, payloads +
+lane index → that lane's response value) with ``lanes`` recording the
+lane count.  The dispatcher in :mod:`repro.serve.server` groups by
+``fuse_key``, assigns one lane per distinct ``group_key``, and falls back
+to plain equal-``group_key`` coalescing when fusion is off, unsupported,
+or the group collapses to a single lane.
+
 Both types know their own **wire encoding** (:meth:`Request.to_wire` /
 :meth:`Request.from_wire` and the Response pair): a JSON-safe header
 dict plus a list of opaque binary segments holding bulk payloads
@@ -56,8 +69,9 @@ STATUSES = (
 _request_ids = itertools.count(1)
 
 #: version of the Request/Response wire schema; bump on any change to the
-#: header layout or the value-encoding markers below
-SCHEMA_VERSION = 1
+#: header layout or the value-encoding markers below (2: response header
+#: gained ``fused_lanes``)
+SCHEMA_VERSION = 2
 
 
 class WireFormatError(ValueError):
@@ -260,6 +274,9 @@ class Response:
     group_size: int = 0
     #: how many requests rode in the same dispatch batch
     batch_size: int = 0
+    #: lanes in the fused execution that served this request (0 = the
+    #: execution was not fused)
+    fused_lanes: int = 0
     #: whether the compilation came from the plan cache
     cache_hit: bool = False
     #: suggested client backoff when status == "rejected"
@@ -285,6 +302,7 @@ class Response:
                 "service_seconds": self.service_seconds,
                 "group_size": self.group_size,
                 "batch_size": self.batch_size,
+                "fused_lanes": self.fused_lanes,
                 "cache_hit": self.cache_hit,
                 "retry_after": self.retry_after,
             },
@@ -307,6 +325,7 @@ class Response:
                 service_seconds=header.get("service_seconds", 0.0),
                 group_size=header.get("group_size", 0),
                 batch_size=header.get("batch_size", 0),
+                fused_lanes=header.get("fused_lanes", 0),
                 cache_hit=bool(header.get("cache_hit", False)),
                 retry_after=header.get("retry_after"),
             )
@@ -350,7 +369,18 @@ class ServicePlan:
     carry equal keys are answered by one pipeline execution (the compile
     inputs and run parameters must then be identical — the adapters
     guarantee it by deriving the key from the same canonical values the
-    plan is built from)."""
+    plan is built from).
+
+    The optional **fusion protocol** lets the dispatcher merge plans with
+    *different* runtime params into one lane-batched execution:
+    ``fuse_key`` is the fusion compatibility identity (everything that
+    must match *except* the per-request params; ``None`` means the
+    service does not fuse — the dispatcher checks this field, never
+    ``hasattr``), and ``fuse`` combines one plan per distinct
+    ``group_key`` into a single batched plan.  A plan returned by
+    ``fuse`` carries ``extract_lane`` (payloads + lane index → that
+    lane's value; lane *i* answers the *i*-th input plan) and ``lanes``,
+    and must itself have ``fuse_key=None``."""
 
     service: str
     group_key: str
@@ -362,6 +392,14 @@ class ServicePlan:
     #: final-stage payloads -> the response value
     extract: Callable[[list[Any]], Any]
     widths: Sequence[int] | None = None
+    #: fusion compatibility identity; None = this plan cannot be fused
+    fuse_key: str | None = None
+    #: combiner: one plan per distinct group_key -> one lane-batched plan
+    fuse: Callable[[Sequence["ServicePlan"]], "ServicePlan"] | None = None
+    #: per-lane demultiplexer of a fused plan's payloads
+    extract_lane: Callable[[list[Any], int], Any] | None = None
+    #: lane count of a fused plan (1 for ordinary plans)
+    lanes: int = 1
 
 
 @runtime_checkable

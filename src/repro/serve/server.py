@@ -15,9 +15,14 @@ One dispatcher thread pulls micro-batches off the
 (equal :class:`~repro.serve.requests.ServicePlan` ``group_key``) into
 single pipeline executions on the warm
 :class:`~repro.serve.session.SessionPool`, and demultiplexes each
-execution's result to every member request's future.  ``stats`` requests
-are answered from :class:`~repro.serve.metrics.ServerMetrics` without
-touching a pipeline.
+execution's result to every member request's future.  Where a service
+opts into **request fusion** (``ServicePlan.fuse_key``), groups with
+*distinct* params additionally merge into one lane-batched execution
+(capped by ``ServerOptions.max_fuse_lanes``), with per-lane demux of
+values and errors — a micro-batch of 32 distinct knn queries becomes
+one engine run instead of 32.  ``stats`` requests are answered from
+:class:`~repro.serve.metrics.ServerMetrics` without touching a
+pipeline.
 
 Admission control, load shedding, per-request deadlines, and graceful
 drain are the server's job; retry-on-fault inside an execution is the
@@ -76,6 +81,12 @@ class ServerOptions:
     #: per-connection bound on unanswered wire requests (flow control:
     #: a full bound stops the connection's reader, TCP backpressures)
     max_inflight: int = 64
+    #: fuse requests with *distinct* params into one lane-batched
+    #: execution when the service opts in (``ServicePlan.fuse_key``);
+    #: off = today's equal-``group_key`` coalescing only
+    fuse: bool = True
+    #: cap on lanes per fused execution; wider fusion groups are chunked
+    max_fuse_lanes: int = 32
 
     def __post_init__(self) -> None:
         if self.max_queue < 1:
@@ -110,6 +121,10 @@ class ServerOptions:
         if self.max_inflight < 1:
             raise ValueError(
                 f"max_inflight must be >= 1, got {self.max_inflight}"
+            )
+        if self.max_fuse_lanes < 1:
+            raise ValueError(
+                f"max_fuse_lanes must be >= 1, got {self.max_fuse_lanes}"
             )
 
     def replace(self, **changes: Any) -> "ServerOptions":
@@ -323,8 +338,8 @@ class PipelineServer:
                         self._finish(pending, status="error", error=detail)
 
     def _run_batch(self, batch: list[PendingResponse]) -> None:
-        """Serve one micro-batch: group compatible requests, execute each
-        group once, demultiplex."""
+        """Serve one micro-batch: group compatible requests, fuse groups
+        the service marks fusable, execute each unit once, demultiplex."""
         groups: dict[str, list[PendingResponse]] = {}
         plans: dict[str, ServicePlan] = {}
         now = time.monotonic()
@@ -355,48 +370,152 @@ class PipelineServer:
             groups.setdefault(key, []).append(pending)
             plans[key] = plan
 
-        for key, members in groups.items():
+        # fusion pass: bucket coalesced groups by (service, fuse_key) where
+        # the service opts in; everything else runs the classic one-group
+        # path.  Each group keeps its identity — it becomes one *lane* of
+        # the fused execution — so identical-param requests still coalesce
+        # first and the lane count is the number of distinct param sets.
+        solo: list[str] = []
+        buckets: dict[tuple[str, str], list[str]] = {}
+        for key in groups:
             plan = plans[key]
-            if self._before_execute is not None:
-                self._before_execute(plan)  # test hook: injected dispatch stall
-            # deadlines re-checked *after* batch assembly and any stall,
-            # immediately before execution: a request that expired in the
-            # window between grouping and dispatch must not charge the plan
-            # cache or the engine, and must be counted as expired exactly
-            # once (record_expired here; record_request only bumps `served`
-            # for "ok", and _finish fires at most once per pending)
-            now = time.monotonic()
-            live: list[PendingResponse] = []
-            for pending in members:
-                if pending.request.expired(now):
-                    self.metrics.record_expired()
-                    self._finish(
-                        pending,
-                        status="expired",
-                        error="deadline exceeded before execution",
-                    )
+            if plan.fuse_key is None or plan.fuse is None:
+                self.metrics.record_fuse_bypass("unsupported")
+                solo.append(key)
+            elif not self.options.fuse:
+                self.metrics.record_fuse_bypass("disabled")
+                solo.append(key)
+            else:
+                buckets.setdefault((plan.service, plan.fuse_key), []).append(key)
+
+        fused_units: list[list[str]] = []
+        for keys in buckets.values():
+            # chunk wide buckets at the lane cap; a leftover chunk of one
+            # group collapses back to plain coalescing
+            for i in range(0, len(keys), self.options.max_fuse_lanes):
+                chunk = keys[i : i + self.options.max_fuse_lanes]
+                if len(chunk) == 1:
+                    self.metrics.record_fuse_bypass("single-lane")
+                    solo.append(chunk[0])
                 else:
-                    live.append(pending)
-            if not live:
-                continue  # nothing left to execute: no cache/engine charge
-            members = live
-            t0 = time.perf_counter()
+                    fused_units.append(chunk)
+
+        for key in solo:
+            self._execute_group(plans[key], groups[key], len(batch))
+        for chunk in fused_units:
+            self._execute_fused(
+                [plans[key] for key in chunk],
+                [groups[key] for key in chunk],
+                len(batch),
+            )
+
+    def _sweep_expired(
+        self, members: list[PendingResponse]
+    ) -> list[PendingResponse]:
+        """Deadlines re-checked *after* batch assembly and any stall,
+        immediately before execution: a request that expired in the window
+        between grouping and dispatch must not charge the plan cache or
+        the engine, and must be counted as expired exactly once
+        (record_expired here; record_request only bumps ``served`` for
+        "ok", and _finish fires at most once per pending)."""
+        now = time.monotonic()
+        live: list[PendingResponse] = []
+        for pending in members:
+            if pending.request.expired(now):
+                self.metrics.record_expired()
+                self._finish(
+                    pending,
+                    status="expired",
+                    error="deadline exceeded before execution",
+                )
+            else:
+                live.append(pending)
+        return live
+
+    def _execute_group(
+        self,
+        plan: ServicePlan,
+        members: list[PendingResponse],
+        batch_size: int,
+    ) -> None:
+        """The classic path: one equal-``group_key`` group, one execution."""
+        if self._before_execute is not None:
+            self._before_execute(plan)  # test hook: injected dispatch stall
+        members = self._sweep_expired(members)
+        if not members:
+            return  # nothing left to execute: no cache/engine charge
+        self._run_group_swept(plan, members, batch_size)
+
+    def _execute_fused(
+        self,
+        lane_plans: list[ServicePlan],
+        lane_members: list[list[PendingResponse]],
+        batch_size: int,
+    ) -> None:
+        """Fuse one bucket of distinct-param groups into a lane-batched
+        plan, execute it once, and demux per-lane values and errors."""
+        if self._before_execute is not None:
+            self._before_execute(lane_plans[0])  # test hook: dispatch stall
+        # sweep per lane: a lane whose every member expired during the
+        # stall window is dropped from the fused run entirely — it is
+        # neither executed nor charged
+        live_plans: list[ServicePlan] = []
+        live_members: list[list[PendingResponse]] = []
+        for plan, members in zip(lane_plans, lane_members):
+            members = self._sweep_expired(members)
+            if members:
+                live_plans.append(plan)
+                live_members.append(members)
+        if not live_plans:
+            return
+        if len(live_plans) == 1:
+            # expiry collapsed the bucket to one param set: no fusion left
+            self.metrics.record_fuse_bypass("single-lane")
+            self._run_group_swept(live_plans[0], live_members[0], batch_size)
+            return
+        try:
+            fused = live_plans[0].fuse(live_plans)
+            if fused.extract_lane is None:
+                raise TypeError(
+                    f"fused plan for {fused.service!r} lacks extract_lane"
+                )
+        except Exception:  # noqa: BLE001 - combiner bug: degrade, don't fail
+            self.metrics.record_fuse_bypass("fuse-error")
+            for plan, members in zip(live_plans, live_members):
+                self._run_group_swept(plan, members, batch_size)
+            return
+        lanes = len(live_plans)
+        t0 = time.perf_counter()
+        try:
+            run, cache_hit = self.pool.execute(fused)
+        except Exception:  # noqa: BLE001 - whole fused run failed
+            detail = traceback.format_exc()
+            for members in live_members:
+                for pending in members:
+                    self.metrics.record_error()
+                    self._finish(pending, status="error", error=detail)
+            return
+        t1 = time.perf_counter()
+        self.metrics.record_execution(
+            fused.service,
+            t0,
+            t1,
+            sum(len(members) for members in live_members),
+            cache_hit,
+            lanes=lanes,
+        )
+        # per-request service time: the fused run did the work of `lanes`
+        # separate executions, so each lane is charged a 1/lanes share
+        self.queue.observe_service_time((t1 - t0) / lanes)
+        for lane, members in enumerate(live_members):
             try:
-                run, cache_hit = self.pool.execute(plan)
-                value = plan.extract(run.payloads)
-            except Exception:  # noqa: BLE001 - per-group failure isolation
+                value = fused.extract_lane(run.payloads, lane)
+            except Exception:  # noqa: BLE001 - errors only this lane
                 detail = traceback.format_exc()
                 for pending in members:
                     self.metrics.record_error()
                     self._finish(pending, status="error", error=detail)
                 continue
-            t1 = time.perf_counter()
-            self.metrics.record_execution(
-                plan.service, t0, t1, len(members), cache_hit
-            )
-            self.queue.observe_service_time(
-                (t1 - t0) / max(len(members), 1)
-            )
             for pending in members:
                 self._finish(
                     pending,
@@ -404,9 +523,44 @@ class PipelineServer:
                     value=value,
                     service_seconds=t1 - t0,
                     group_size=len(members),
-                    batch_size=len(batch),
+                    batch_size=batch_size,
                     cache_hit=cache_hit,
+                    fused_lanes=lanes,
                 )
+
+    def _run_group_swept(
+        self,
+        plan: ServicePlan,
+        members: list[PendingResponse],
+        batch_size: int,
+    ) -> None:
+        """_execute_group minus the stall hook and deadline sweep — for
+        members that already survived the fused path's sweep."""
+        t0 = time.perf_counter()
+        try:
+            run, cache_hit = self.pool.execute(plan)
+            value = plan.extract(run.payloads)
+        except Exception:  # noqa: BLE001 - per-group failure isolation
+            detail = traceback.format_exc()
+            for pending in members:
+                self.metrics.record_error()
+                self._finish(pending, status="error", error=detail)
+            return
+        t1 = time.perf_counter()
+        self.metrics.record_execution(
+            plan.service, t0, t1, len(members), cache_hit
+        )
+        self.queue.observe_service_time((t1 - t0) / max(len(members), 1))
+        for pending in members:
+            self._finish(
+                pending,
+                status="ok",
+                value=value,
+                service_seconds=t1 - t0,
+                group_size=len(members),
+                batch_size=batch_size,
+                cache_hit=cache_hit,
+            )
 
     # -- helpers -------------------------------------------------------------
     def _finish(
@@ -420,6 +574,7 @@ class PipelineServer:
         batch_size: int = 0,
         cache_hit: bool = False,
         retry_after: float | None = None,
+        fused_lanes: int = 0,
     ) -> None:
         request = pending.request
         latency = time.monotonic() - request.t_submit
@@ -442,6 +597,7 @@ class PipelineServer:
                 batch_size=batch_size,
                 cache_hit=cache_hit,
                 retry_after=retry_after,
+                fused_lanes=fused_lanes,
             )
         )
 
