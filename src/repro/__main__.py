@@ -29,7 +29,15 @@ Commands:
   trace as JSON lines.  Multi-host mode: ``--listen host:port`` serves
   remote clients over the socket transport (same admission/batching/
   plan-cache path), ``--connect host:port`` pushes the burst through a
-  ``RemoteClient`` instead of an in-process server.
+  ``RemoteClient`` instead of an in-process server.  Observability
+  artifacts: ``--metrics-out`` writes the Prometheus text exposition
+  (scraped over the wire in ``--connect`` mode) and ``--trace-out``
+  exports the linked request trace — serve-level stage spans joined to
+  engine-level filter spans — as Chrome ``trace_event`` JSON.
+* ``top`` — live terminal dashboard over a running ``serve --listen``
+  server: polls the deep ``stats`` snapshot over a ``RemoteClient`` and
+  renders rolling 1 s / 10 s / 60 s rates, queue/batch gauges, and
+  windowed per-kind and per-stage latency percentiles.
 * ``apps`` — list the bundled evaluation applications.
 
 Intrinsic implementations cannot be supplied from the command line, so
@@ -319,6 +327,32 @@ def _serve_services(args: argparse.Namespace) -> list:
     ]
 
 
+def _export_serve_artifacts(metrics, args: argparse.Namespace, indent: str = "") -> int:
+    """Write the optional observability artifacts of a serve run: the
+    Prometheus exposition (``--metrics-out``) and the linked request
+    trace as validated Chrome ``trace_event`` JSON (``--trace-out``)."""
+    from .datacutter.obs import to_chrome, validate_chrome_trace, write_chrome
+
+    if getattr(args, "metrics_out", None):
+        with open(args.metrics_out, "w") as fh:
+            fh.write(metrics.render_prometheus())
+        print(f"{indent}prometheus metrics written to {args.metrics_out}")
+    if getattr(args, "trace_out", None):
+        trace = metrics.export_trace()
+        errors = validate_chrome_trace(to_chrome(trace))
+        if errors:  # pragma: no cover - exporter bug guard
+            print(f"{indent}trace-out: invalid chrome export:")
+            for err in errors:
+                print(f"{indent}  {err}")
+            return 1
+        write_chrome(trace, args.trace_out)
+        print(
+            f"{indent}request trace written to {args.trace_out} "
+            "(chrome trace_event; open in Perfetto)"
+        )
+    return 0
+
+
 def _cmd_serve_listen(args: argparse.Namespace) -> int:
     """``serve --listen host:port``: a long-running multi-host server."""
     import signal
@@ -367,7 +401,7 @@ def _cmd_serve_listen(args: argparse.Namespace) -> int:
     if args.out:
         server.metrics.write_jsonl(args.out)
         print(f"metrics written to {args.out} (JSON lines)")
-    return 0
+    return _export_serve_artifacts(server.metrics, args)
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -421,6 +455,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             responses = client.burst(requests)
             wall = time.perf_counter() - t0
             stats = client.stats()
+            prom_text = (
+                client.prometheus()
+                if args.connect and args.metrics_out
+                else None
+            )
     finally:
         if server is not None:
             server.stop()
@@ -468,6 +507,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.out and server is not None:
         server.metrics.write_jsonl(args.out)
         print(f"  metrics written to {args.out} (JSON lines)")
+    if server is not None:
+        rc = _export_serve_artifacts(server.metrics, args, indent="  ")
+        if rc:
+            return rc
+    else:
+        if args.metrics_out and prom_text is not None:
+            # remote mode: scrape the listener's registry over the wire
+            with open(args.metrics_out, "w") as fh:
+                fh.write(prom_text)
+            print(f"  prometheus metrics written to {args.metrics_out}")
+        if args.trace_out:
+            print(
+                "  trace-out: unavailable in --connect mode "
+                "(use --trace-out on the --listen side)"
+            )
 
     if failed:
         return 1
@@ -496,6 +550,141 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         if mismatches:
             return 1
+    return 0
+
+
+def _parse_metric_key(key: str) -> tuple[str, dict[str, str]]:
+    """Split a snapshot key like ``stage{kind="knn",stage="execute"}``
+    into its family name and label dict (label values never contain
+    commas or quotes in this registry)."""
+    name, brace, rest = key.partition("{")
+    labels: dict[str, str] = {}
+    if brace:
+        for part in rest.rstrip("}").split(","):
+            k, _, v = part.partition("=")
+            labels[k] = v.strip('"')
+    return name, labels
+
+
+def _render_top(snap: dict, where: str) -> str:
+    """One ``top`` frame from a deep stats snapshot."""
+    import time
+
+    windows = snap.get("windows") or {}
+    counters = windows.get("counters", {})
+    gauges = windows.get("gauges", {})
+    hists = windows.get("histograms", {})
+    lines = [
+        f"repro serve top — {where} — {time.strftime('%H:%M:%S')}",
+        f"  served {snap.get('served', 0)}  executions {snap.get('executions', 0)}"
+        f"  errors {snap.get('errors', 0)}  shed {snap.get('shed', 0)}"
+        f"  expired {snap.get('expired', 0)}"
+        f"  dropped spans {snap.get('dropped_spans', 0)}",
+    ]
+    qd = gauges.get("queue_depth", {})
+    bs = gauges.get("batch_size", {})
+    ca = gauges.get("connections_active", {})
+    lines.append(
+        f"  queue depth {qd.get('last', 0):g} (peak {qd.get('peak', 0):g})"
+        f"  batch size {bs.get('last', 0):g} (peak {bs.get('peak', 0):g})"
+        f"  connections {ca.get('last', 0):g}"
+    )
+    lines.append("")
+    lines.append(f"  {'rate (events/s)':<24} {'1s':>9} {'10s':>9} {'60s':>9}")
+    for name in (
+        "admitted",
+        "served",
+        "errors",
+        "shed",
+        "expired",
+        "batches",
+        "fused_executions",
+    ):
+        entry = counters.get(name)
+        if not entry:
+            continue
+        rates = entry.get("rates", {})
+        lines.append(
+            f"  {name:<24} {rates.get('1s', 0.0):>9.1f}"
+            f" {rates.get('10s', 0.0):>9.1f} {rates.get('60s', 0.0):>9.2f}"
+        )
+
+    def hist_rows(family: str, label_fmt) -> list[str]:
+        rows = []
+        for key in sorted(hists):
+            name, labels = _parse_metric_key(key)
+            if name != family:
+                continue
+            entry = hists[key]
+            win = entry.get("10s") or {}
+            n = int(win.get("count", 0))
+            # quiet families fall back to lifetime percentiles so the
+            # table stays readable between bursts
+            src, n_shown, tag = (
+                (win, n, "10s")
+                if n
+                else (entry.get("overall", {}), int(entry.get("count", 0)), "all")
+            )
+            rows.append(
+                f"  {label_fmt(labels):<28}"
+                f" {src.get('p50', 0.0) * 1e3:>9.2f}"
+                f" {src.get('p95', 0.0) * 1e3:>9.2f}"
+                f" {src.get('p99', 0.0) * 1e3:>9.2f}"
+                f" {n_shown:>8} {tag:>4}"
+            )
+        return rows
+
+    request_rows = hist_rows("request", lambda lb: lb.get("kind", "?"))
+    if request_rows:
+        lines.append("")
+        lines.append(
+            f"  {'request latency (ms)':<28} {'p50':>9} {'p95':>9} {'p99':>9}"
+            f" {'n':>8} {'win':>4}"
+        )
+        lines.extend(request_rows)
+    stage_rows = hist_rows(
+        "stage", lambda lb: f"{lb.get('kind', '?')}/{lb.get('stage', '?')}"
+    )
+    if stage_rows:
+        lines.append("")
+        lines.append(
+            f"  {'stage latency (ms)':<28} {'p50':>9} {'p95':>9} {'p99':>9}"
+            f" {'n':>8} {'win':>4}"
+        )
+        lines.extend(stage_rows)
+    return "\n".join(lines)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """``top --connect host:port``: poll deep stats, render frames."""
+    import time
+
+    from .serve import RemoteClient, ServerClosed
+
+    if args.interval <= 0:
+        print("top: --interval must be > 0")
+        return 2
+    try:
+        client = RemoteClient(args.connect, timeout=30.0)
+    except (OSError, ValueError) as exc:
+        print(f"top: cannot connect to {args.connect}: {exc}")
+        return 2
+    clear = "" if args.no_clear else "\x1b[2J\x1b[H"
+    frames = 0
+    try:
+        with client:
+            while True:
+                snap = client.stats(deep=True)
+                print(f"{clear}{_render_top(snap, args.connect)}", flush=True)
+                frames += 1
+                if args.iterations and frames >= args.iterations:
+                    break
+                time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
+    except (RuntimeError, ServerClosed) as exc:
+        print(f"top: {exc}")
+        return 1
     return 0
 
 
@@ -818,7 +1007,50 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="export serving metrics as JSON lines",
     )
+    p_serve.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write the Prometheus text exposition on exit (in --connect "
+        "mode the listener's registry is scraped over the wire)",
+    )
+    p_serve.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="export the linked request trace as Chrome trace_event JSON "
+        "(local burst and --listen modes; open in Perfetto)",
+    )
     p_serve.set_defaults(fn=_cmd_serve)
+
+    p_top = sub.add_parser(
+        "top",
+        help="live terminal dashboard over a running serve --listen server",
+    )
+    p_top.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        required=True,
+        help="address of a server started with serve --listen",
+    )
+    p_top.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        help="refresh period in seconds (default 1.0)",
+    )
+    p_top.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        help="frames to render before exiting (default 0 = until ^C)",
+    )
+    p_top.add_argument(
+        "--no-clear",
+        action="store_true",
+        help="append frames instead of clearing the screen (logs, CI)",
+    )
+    p_top.set_defaults(fn=_cmd_top)
 
     p_apps = sub.add_parser("apps", help="list bundled applications")
     p_apps.set_defaults(fn=_cmd_apps)

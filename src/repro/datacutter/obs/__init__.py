@@ -13,7 +13,9 @@ from .trace import (
     BLOCKED_MIN_SECONDS,
     OVERHEAD_PACKET,
     PHASES,
+    STAGE_PHASES,
     BlockedSpan,
+    BoundedTrace,
     QueueSample,
     Span,
     Trace,
@@ -35,7 +37,9 @@ __all__ = [
     "BLOCKED_MIN_SECONDS",
     "OVERHEAD_PACKET",
     "PHASES",
+    "STAGE_PHASES",
     "BlockedSpan",
+    "BoundedTrace",
     "QueueSample",
     "Span",
     "Trace",

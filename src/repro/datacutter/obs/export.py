@@ -27,8 +27,10 @@ CHROME_PID = 1
 #: metadata record names we emit (trace_event spec, "Metadata Events")
 _CHROME_META_NAMES = {"process_name", "thread_name", "thread_sort_index"}
 
-#: event phases we emit; validation rejects anything else
-_CHROME_PHASES = {"X", "C", "M"}
+#: event phases we emit; validation rejects anything else ("s"/"t"/"f"
+#: are flow events binding a serving request's stage spans to the engine
+#: filter spans of the execution that answered it)
+_CHROME_PHASES = {"X", "C", "M", "s", "t", "f"}
 
 
 # ---------------------------------------------------------------------------
@@ -79,29 +81,59 @@ def to_chrome(trace: Trace) -> dict[str, Any]:
 
     for who in trace.copies():  # pipeline order before ad-hoc labels
         tid_for(who)
+    # spans carrying a serving execution id become flow-event chains:
+    # one flow per execution, threading the request's stage spans and the
+    # engine-level filter spans of the run that answered it, so Perfetto
+    # draws the request crossing from its track into the pipeline's
+    flows: dict[int, list[tuple[float, int]]] = {}
     for s in trace.spans:
         name = (
             s.phase
             if s.packet is None or s.packet < 0
             else f"{s.phase} p{s.packet}"
         )
+        args: dict[str, Any] = {
+            "filter": s.filter,
+            "copy": s.copy,
+            "phase": s.phase,
+            "packet": s.packet,
+        }
+        if s.trace is not None:
+            args["trace_id"] = s.trace
+        if s.execution is not None:
+            args["execution"] = s.execution
+        tid = tid_for(s.who)
         events.append(
             {
                 "ph": "X",
                 "cat": "filter",
                 "name": name,
                 "pid": CHROME_PID,
-                "tid": tid_for(s.who),
+                "tid": tid,
                 "ts": us(s.t0),
                 "dur": max(round(s.duration * 1e6, 3), 0.0),
-                "args": {
-                    "filter": s.filter,
-                    "copy": s.copy,
-                    "phase": s.phase,
-                    "packet": s.packet,
-                },
+                "args": args,
             }
         )
+        if s.execution is not None:
+            flows.setdefault(s.execution, []).append((us(s.t0), tid))
+    for execution, points in flows.items():
+        if len(points) < 2:
+            continue
+        points.sort()
+        for i, (ts, tid) in enumerate(points):
+            ev: dict[str, Any] = {
+                "ph": "s" if i == 0 else ("f" if i == len(points) - 1 else "t"),
+                "cat": "link",
+                "name": f"execution {execution}",
+                "id": execution,
+                "pid": CHROME_PID,
+                "tid": tid,
+                "ts": ts,
+            }
+            if ev["ph"] == "f":
+                ev["bp"] = "e"  # bind to the enclosing slice, not the next
+            events.append(ev)
     for b in trace.blocked:
         events.append(
             {
@@ -158,10 +190,15 @@ def validate_chrome_trace(doc: Any) -> list[str]:
             problems.append(f"{where}: missing string name")
         if not isinstance(ev.get("pid"), int):
             problems.append(f"{where}: missing integer pid")
-        if ph in ("X", "C"):
+        if ph in ("X", "C", "s", "t", "f"):
             ts = ev.get("ts")
             if not isinstance(ts, (int, float)) or ts < 0:
                 problems.append(f"{where}: ts must be a non-negative number")
+        if ph in ("s", "t", "f"):
+            if not isinstance(ev.get("id"), (int, str)):
+                problems.append(f"{where}: flow event needs an id")
+            if not isinstance(ev.get("tid"), int):
+                problems.append(f"{where}: missing integer tid")
         if ph == "X":
             dur = ev.get("dur")
             if not isinstance(dur, (int, float)) or dur < 0:
@@ -193,17 +230,22 @@ def write_chrome(trace: Trace, path: str) -> None:
 def jsonl_lines(trace: Trace) -> Iterator[str]:
     yield json.dumps({"type": "meta", **trace.meta})
     for s in trace.spans:
-        yield json.dumps(
-            {
-                "type": "span",
-                "filter": s.filter,
-                "copy": s.copy,
-                "phase": s.phase,
-                "packet": s.packet,
-                "t0": s.t0,
-                "t1": s.t1,
-            }
-        )
+        rec: dict[str, Any] = {
+            "type": "span",
+            "filter": s.filter,
+            "copy": s.copy,
+            "phase": s.phase,
+            "packet": s.packet,
+            "t0": s.t0,
+            "t1": s.t1,
+        }
+        # link fields only when present, so pre-serving traces stay
+        # byte-identical and Span(**rec) round-trips either way
+        if s.trace is not None:
+            rec["trace"] = s.trace
+        if s.execution is not None:
+            rec["execution"] = s.execution
+        yield json.dumps(rec)
     for q in trace.queue_samples:
         yield json.dumps(
             {

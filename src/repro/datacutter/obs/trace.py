@@ -43,8 +43,28 @@ OVERHEAD_PACKET = -2
 #: failed filter copy (its duration covers backoff through respawn) —
 #: and the serving-layer phases: "request" spans cover one client request
 #: from admission to response, "execute" spans one micro-batched pipeline
-#: execution (see repro.serve.metrics)
-PHASES = ("init", "generate", "process", "finalize", "restart", "request", "execute")
+#: execution, and the per-request *stage* spans break a request's life
+#: down ("admission" = submit to admitted, "queue" = admitted to
+#: dispatched, "assemble" = dispatch to execution start including
+#: grouping/fusion, "extract" = per-lane demux, "write" = the wire
+#: response write; see repro.serve.metrics)
+PHASES = (
+    "init",
+    "generate",
+    "process",
+    "finalize",
+    "restart",
+    "request",
+    "execute",
+    "admission",
+    "queue",
+    "assemble",
+    "extract",
+    "write",
+)
+
+#: the serving-layer stage phases, in request-lifecycle order
+STAGE_PHASES = ("admission", "queue", "assemble", "execute", "extract", "write")
 
 #: a stream put()/get() slower than this is recorded as blocked time
 BLOCKED_MIN_SECONDS = 1e-3
@@ -64,14 +84,25 @@ def current_worker_label() -> str:
 
 @dataclass(slots=True)
 class Span:
-    """One filter-copy callback execution."""
+    """One filter-copy callback execution.
+
+    The two optional tail fields are the serving layer's distributed-trace
+    links, absent (``None``) on ordinary engine spans from a one-shot run:
+    ``trace`` carries the request's end-to-end trace id (minted client
+    side and shipped in the wire header), and ``execution`` the serving
+    execution sequence number that joins a request's stage spans to the
+    engine-level filter spans of the pipeline run that answered it."""
 
     filter: str
     copy: int
-    phase: str  # init | generate | process | finalize | restart
+    phase: str  # one of PHASES
     packet: int | None  # None for init/finalize/restart
     t0: float
     t1: float
+    #: serving request trace id this span belongs to (distributed tracing)
+    trace: str | None = None
+    #: serving execution sequence number linking request and engine spans
+    execution: int | None = None
 
     @property
     def duration(self) -> float:
@@ -177,6 +208,20 @@ class Trace:
             self.spans.extend(spans)
             self.queue_samples.extend(queue_samples)
             self.blocked.extend(blocked)
+
+    def copy_events(
+        self,
+    ) -> tuple[list[Span], list[QueueSample], list[BlockedSpan], dict[str, Any]]:
+        """Consistent shallow copies of (spans, queue samples, blocked,
+        meta), taken under the lock — the safe way to export or inspect a
+        trace that other threads are still feeding."""
+        with self._lock:
+            return (
+                list(self.spans),
+                list(self.queue_samples),
+                list(self.blocked),
+                dict(self.meta),
+            )
 
     # -- queries -------------------------------------------------------------
     @property
@@ -318,6 +363,90 @@ class Trace:
                 f"blocked put {put_s:7.4f}s  get {get_s:7.4f}s"
             )
         return "\n".join(lines)
+
+
+class BoundedTrace(Trace):
+    """A :class:`Trace` whose event retention is capped with rotation.
+
+    A long-running server feeding one trace forever would grow without
+    bound; this collector keeps only the most recent events of each class
+    and counts what rotation dropped (``dropped_spans`` /
+    ``dropped_queue_samples`` / ``dropped_blocked``).  Trimming is
+    amortized: events are dropped a chunk at a time once the list exceeds
+    its cap by 25%, so steady-state retention floats between ``cap`` and
+    ``1.25 * cap`` while appends stay O(1).  A cap of ``None`` disables
+    the bound for that event class (plain ``Trace`` behaviour)."""
+
+    def __init__(
+        self,
+        max_spans: int | None = 4096,
+        max_queue_samples: int | None = 4096,
+        max_blocked: int | None = 1024,
+    ) -> None:
+        super().__init__()
+        for name, cap in (
+            ("max_spans", max_spans),
+            ("max_queue_samples", max_queue_samples),
+            ("max_blocked", max_blocked),
+        ):
+            if cap is not None and cap < 1:
+                raise ValueError(f"{name} must be >= 1 or None, got {cap}")
+        self.max_spans = max_spans
+        self.max_queue_samples = max_queue_samples
+        self.max_blocked = max_blocked
+        self.dropped_spans = 0
+        self.dropped_queue_samples = 0
+        self.dropped_blocked = 0
+
+    def _trim(self, events: list, cap: int | None) -> int:
+        """Drop the oldest events once 25% over cap; returns the count."""
+        if cap is None or len(events) <= cap + max(cap // 4, 1):
+            return 0
+        excess = len(events) - cap
+        del events[:excess]
+        return excess
+
+    def record_span(self, span: Span) -> None:
+        with self._lock:
+            self.spans.append(span)
+            self.dropped_spans += self._trim(self.spans, self.max_spans)
+
+    def record_queue(self, sample: QueueSample) -> None:
+        with self._lock:
+            self.queue_samples.append(sample)
+            self.dropped_queue_samples += self._trim(
+                self.queue_samples, self.max_queue_samples
+            )
+
+    def record_blocked(self, blocked: BlockedSpan) -> None:
+        with self._lock:
+            self.blocked.append(blocked)
+            self.dropped_blocked += self._trim(self.blocked, self.max_blocked)
+
+    def merge(
+        self,
+        spans: Iterable[Span] = (),
+        queue_samples: Iterable[QueueSample] = (),
+        blocked: Iterable[BlockedSpan] = (),
+    ) -> None:
+        with self._lock:
+            self.spans.extend(spans)
+            self.queue_samples.extend(queue_samples)
+            self.blocked.extend(blocked)
+            self.dropped_spans += self._trim(self.spans, self.max_spans)
+            self.dropped_queue_samples += self._trim(
+                self.queue_samples, self.max_queue_samples
+            )
+            self.dropped_blocked += self._trim(self.blocked, self.max_blocked)
+
+    @property
+    def dropped_events(self) -> int:
+        """Total events lost to rotation, all classes."""
+        return (
+            self.dropped_spans
+            + self.dropped_queue_samples
+            + self.dropped_blocked
+        )
 
 
 def record_queue_op(

@@ -22,10 +22,16 @@ traffic:
   TCP, with a listener that feeds decoded requests into the *same*
   admission → micro-batch → plan-cache → warm-engine path local calls
   take;
-* :mod:`~repro.serve.metrics` — request-scoped ``obs`` spans: latency
-  percentiles, batch occupancy, queue depth, connection gauges, wire
-  decode-error counters, exported through the stock JSON-lines exporter
-  and the ``stats`` request type;
+* :mod:`~repro.serve.metrics` — the observability surface: per-request
+  *stage* spans (admission → queue → assemble → execute → extract →
+  write) linked by trace id and execution id to the engine-level filter
+  spans in one bounded trace, plus the windowed counters/gauges/latency
+  histograms of :mod:`~repro.serve.timeseries` behind ``stats``
+  percentiles, the Prometheus exposition, and the
+  :meth:`ServerMetrics.window` autoscale signal;
+* :mod:`~repro.serve.timeseries` — the bounded time-series primitives:
+  mergeable log-bucket latency histograms and per-second rolling windows
+  (1 s / 10 s / 60 s) under one registry;
 * :mod:`~repro.serve.client` — the :class:`Client` protocol and its two
   transports: :class:`LocalClient` (in-process function call) and
   :class:`RemoteClient` (socket), mirror images used interchangeably by
@@ -38,11 +44,12 @@ apps themselves (``repro.apps.make_knn_service`` /
 
 from .broker import AdmissionQueue
 from .client import BaseClient, Client, LocalClient, RemoteClient
-from .metrics import ServerMetrics
+from .metrics import EngineSpanTap, ServerMetrics
 from .plancache import CacheStats, PlanCache, PlanCacheProtocol
 from .requests import (
     SCHEMA_VERSION,
     STATS_KIND,
+    SUPPORTED_SCHEMAS,
     PendingResponse,
     Request,
     Response,
@@ -50,9 +57,11 @@ from .requests import (
     Service,
     ServicePlan,
     WireFormatError,
+    mint_trace_id,
 )
 from .server import PipelineServer, ServerClosed, ServerOptions
 from .session import SessionPool, oneshot
+from .timeseries import LatencyHistogram, MetricsRegistry
 from .transport import TransportListener
 
 __all__ = [
@@ -60,7 +69,10 @@ __all__ = [
     "BaseClient",
     "CacheStats",
     "Client",
+    "EngineSpanTap",
+    "LatencyHistogram",
     "LocalClient",
+    "MetricsRegistry",
     "PendingResponse",
     "PipelineServer",
     "PlanCache",
@@ -70,6 +82,7 @@ __all__ = [
     "Response",
     "SCHEMA_VERSION",
     "STATS_KIND",
+    "SUPPORTED_SCHEMAS",
     "SchemaVersionError",
     "ServerClosed",
     "ServerMetrics",
@@ -79,5 +92,6 @@ __all__ = [
     "SessionPool",
     "TransportListener",
     "WireFormatError",
+    "mint_trace_id",
     "oneshot",
 ]

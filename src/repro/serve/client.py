@@ -58,8 +58,8 @@ class Client(Protocol):
     ) -> Response:  # pragma: no cover - protocol
         ...
 
-    def stats(self) -> dict[str, object]:  # pragma: no cover - protocol
-        ...
+    def stats(self, deep: bool = False) -> dict[str, object]:
+        ...  # pragma: no cover - protocol
 
     def drain(self, timeout: float | None = None) -> list[Response]:
         ...  # pragma: no cover - protocol
@@ -145,12 +145,24 @@ class BaseClient:
         """One virtual-microscope region query (preset name)."""
         return self.call("vmscope", {"query": query}, deadline)
 
-    def stats(self) -> dict[str, object]:
-        """The server's metrics snapshot (the ``stats`` request type)."""
-        response = self.call(STATS_KIND)
+    def stats(self, deep: bool = False) -> dict[str, object]:
+        """The server's metrics snapshot (the ``stats`` request type).
+        ``deep=True`` adds the windowed registry view — per-kind and
+        per-stage latency percentiles over the rolling 1 s / 10 s / 60 s
+        windows, rates, and gauge maxima."""
+        response = self.call(STATS_KIND, {"deep": True} if deep else None)
         if not response.ok:
             raise RuntimeError(f"stats request failed: {response.error}")
         assert isinstance(response.value, dict)
+        return response.value
+
+    def prometheus(self) -> str:
+        """The server's metrics as Prometheus text exposition (the
+        ``stats`` request type with ``format="prometheus"``)."""
+        response = self.call(STATS_KIND, {"format": "prometheus"})
+        if not response.ok:
+            raise RuntimeError(f"stats request failed: {response.error}")
+        assert isinstance(response.value, str)
         return response.value
 
     # -- bookkeeping / lifecycle ---------------------------------------------

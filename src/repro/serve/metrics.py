@@ -1,51 +1,134 @@
-"""The serving metrics surface, built on the existing ``obs`` spans.
+"""The serving metrics surface: bounded trace + windowed time series.
 
-Rather than invent a metrics registry, the server feeds the same
-:class:`~repro.datacutter.obs.Trace` the engines feed:
+Two complementary sinks fed by the server, both bounded:
 
-* one ``request`` span per client request — filter ``request.<kind>``,
-  packet = request id, admission to response — so latency percentiles are
-  a :meth:`Trace.duration_percentiles` query;
-* one ``execute`` span per micro-batched pipeline execution — filter
-  ``execute.<kind>`` — whose packet key is the execution sequence number;
-* queue-depth gauges on the synthetic ``serve.queue`` stream at every
-  admission/dispatch, and batch-occupancy gauges on ``serve.batch``;
-* live-connection gauges on ``serve.connections`` at every socket
-  accept/close, plus transport counters (connections, frames and bytes
-  in/out, decode errors, mid-stream disconnects) fed by
-  :mod:`repro.serve.transport`;
-* counters (admitted / rejected / shed / expired / errors, plus request
-  fusion: fused executions, lanes per execution, and per-reason fusion
-  bypasses) in the trace metadata.
+* a :class:`~repro.datacutter.obs.BoundedTrace` holding the most recent
+  spans for export — per-request *stage* spans (``admission`` →
+  ``queue`` → ``assemble`` → ``execute`` → ``extract`` → ``write``),
+  one ``request`` span per client request, one ``execute`` span per
+  pipeline execution, and (via :class:`EngineSpanTap`) the engine-level
+  filter spans of every serving execution, all stamped with the
+  request's ``trace_id`` and the execution sequence number so the Chrome
+  exporter can draw one request crossing the socket into filter-level
+  pipeline spans.  Retention rotates; ``dropped_spans`` counts the loss.
+* a :class:`~repro.serve.timeseries.MetricsRegistry` of windowed
+  counters, gauges, and log-bucket latency histograms — the source for
+  ``stats`` percentiles (O(buckets), never a rescan of history), for the
+  Prometheus text exposition, and for the :meth:`ServerMetrics.window`
+  signal the autoscale loop consumes.
 
-Everything therefore exports through the stock JSON-lines exporter
+Everything still exports through the stock JSON-lines exporter
 (:func:`~repro.datacutter.obs.write_jsonl`) and round-trips through
 ``read_jsonl`` — the `serve` CLI's ``-o`` artifact is an ordinary
-observability trace, and :meth:`ServerMetrics.snapshot` is the payload of
-the ``stats`` request type.
+observability trace, and :meth:`ServerMetrics.snapshot` is the payload
+of the ``stats`` request type.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+from typing import Any, Callable
 
-from ..datacutter.obs import Trace, write_jsonl
-from ..datacutter.obs.trace import QueueSample, Span
+from ..datacutter.obs import BoundedTrace, Trace, write_jsonl
+from ..datacutter.obs.trace import BlockedSpan, QueueSample, Span, TraceCollector
+from .timeseries import DEFAULT_WINDOWS, MetricsRegistry
 
 #: synthetic stream names for the serving gauges
 QUEUE_STREAM = "serve.queue"
 BATCH_STREAM = "serve.batch"
 CONN_STREAM = "serve.connections"
 
+#: default span retention (per event class) of the bounded trace
+DEFAULT_RETENTION = 4096
+
+
+class EngineSpanTap:
+    """Trace collector that links engine spans to serving executions.
+
+    Installed as ``EngineOptions.trace`` by the server: while a serving
+    execution is running (between :meth:`ServerMetrics.begin_execution`
+    and :meth:`ServerMetrics.end_execution`), every engine span is
+    stamped with that execution's sequence number and trace id and
+    recorded into the bounded metrics trace — joining filter-level
+    pipeline spans to the request that caused them.  An optional
+    ``downstream`` collector (the caller's own ``EngineOptions.trace``)
+    receives every event unmodified.
+
+    The dispatcher runs executions one at a time on one thread, and the
+    process engine replays worker spans inside ``run()``, so the
+    current-execution stamp is stable for the duration of each run."""
+
+    def __init__(
+        self, metrics: "ServerMetrics", downstream: TraceCollector | None = None
+    ) -> None:
+        self._metrics = metrics
+        self._downstream = downstream
+
+    def record_span(self, span: Span) -> None:
+        if self._downstream is not None:
+            self._downstream.record_span(span)
+        execution, trace_id = self._metrics.current_execution()
+        if execution is not None and span.execution is None:
+            span = Span(
+                span.filter,
+                span.copy,
+                span.phase,
+                span.packet,
+                span.t0,
+                span.t1,
+                trace=trace_id,
+                execution=execution,
+            )
+        self._metrics.trace.record_span(span)
+
+    def record_queue(self, sample: QueueSample) -> None:
+        if self._downstream is not None:
+            self._downstream.record_queue(sample)
+        self._metrics.trace.record_queue(sample)
+
+    def record_blocked(self, blocked: BlockedSpan) -> None:
+        if self._downstream is not None:
+            self._downstream.record_blocked(blocked)
+        self._metrics.trace.record_blocked(blocked)
+
+    def note(self, **meta: Any) -> None:
+        if self._downstream is not None:
+            self._downstream.note(**meta)
+        self._metrics.trace.note(**{f"engine.{k}": v for k, v in meta.items()})
+
 
 class ServerMetrics:
-    """Thread-safe serving telemetry over one :class:`Trace`."""
+    """Thread-safe serving telemetry: bounded trace + windowed registry.
 
-    def __init__(self) -> None:
-        self.trace = Trace()
+    ``retention`` caps the trace's per-class event lists (``None`` =
+    unbounded, the old behaviour); ``sample`` keeps stage/request spans
+    for one request in every ``sample`` (counters and histograms always
+    see everything — sampling only thins the exported trace);
+    ``trace_stages=False`` drops per-request stage spans entirely while
+    keeping the stage histograms; ``clock`` feeds the registry's rolling
+    windows and is injectable for deterministic tests."""
+
+    def __init__(
+        self,
+        retention: int | None = DEFAULT_RETENTION,
+        sample: int = 1,
+        trace_stages: bool = True,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if sample < 1:
+            raise ValueError(f"sample must be >= 1, got {sample}")
+        self.trace_stages = trace_stages
+        self.trace: BoundedTrace = BoundedTrace(
+            max_spans=retention,
+            max_queue_samples=retention,
+            max_blocked=retention if retention is None else max(retention // 4, 1),
+        )
         self.trace.note(role="serve")
+        self.registry = MetricsRegistry(clock=clock)
+        self.sample = sample
         self._lock = threading.Lock()
+        self._current: tuple[int | None, str | None] = (None, None)
         self.admitted = 0
         self.rejected = 0
         self.shed = 0
@@ -73,9 +156,15 @@ class ServerMetrics:
         self.disconnects = 0
 
     # -- recording ----------------------------------------------------------
+    def sampled(self, request_id: int) -> bool:
+        """Whether this request's spans are retained in the trace."""
+        return request_id % self.sample == 0
+
     def record_admission(self, depth: int) -> None:
         with self._lock:
             self.admitted += 1
+        self.registry.inc("admitted")
+        self.registry.set_gauge("queue_depth", depth)
         self.trace.record_queue(
             QueueSample(QUEUE_STREAM, time.perf_counter(), depth, "put")
         )
@@ -83,27 +172,88 @@ class ServerMetrics:
     def record_rejected(self) -> None:
         with self._lock:
             self.rejected += 1
+        self.registry.inc("rejected")
 
     def record_shed(self) -> None:
         with self._lock:
             self.shed += 1
+        self.registry.inc("shed")
 
     def record_expired(self) -> None:
         with self._lock:
             self.expired += 1
+        self.registry.inc("expired")
 
     def record_error(self) -> None:
         with self._lock:
             self.errors += 1
+        self.registry.inc("errors")
 
     def record_dispatch(self, depth: int, batch_size: int) -> None:
         """One micro-batch left the queue."""
         now = time.perf_counter()
         self.trace.record_queue(QueueSample(QUEUE_STREAM, now, depth, "get"))
         self.trace.record_queue(QueueSample(BATCH_STREAM, now, batch_size, "get"))
+        self.registry.set_gauge("queue_depth", depth)
+        self.registry.set_gauge("batch_size", batch_size)
+        self.registry.inc("batches")
+        self.registry.inc("batch_requests", batch_size)
         with self._lock:
             self._occupancy_sum += batch_size
             self._batches += 1
+
+    def record_stage(
+        self,
+        kind: str,
+        stage: str,
+        t0: float,
+        t1: float,
+        request_id: int | None = None,
+        trace_id: str | None = None,
+        execution: int | None = None,
+    ) -> None:
+        """One stage of one request's life (``admission`` / ``queue`` /
+        ``assemble`` / ``execute`` / ``extract`` / ``write``): always
+        feeds the per-stage latency histogram; additionally records a
+        linked span when ``request_id`` is given and sampled (callers
+        pass ``None`` to keep the histogram but skip the span)."""
+        self.registry.observe(
+            "stage", max(t1 - t0, 0.0), labels={"kind": kind, "stage": stage}
+        )
+        if (
+            self.trace_stages
+            and request_id is not None
+            and self.sampled(request_id)
+        ):
+            self.trace.record_span(
+                Span(
+                    f"request.{kind}",
+                    0,
+                    stage,
+                    request_id,
+                    t0,
+                    t1,
+                    trace=trace_id,
+                    execution=execution,
+                )
+            )
+
+    # -- executions ---------------------------------------------------------
+    def begin_execution(self, trace_id: str | None = None) -> int:
+        """Allocate the next execution sequence number and mark it
+        current, so :class:`EngineSpanTap` stamps the engine spans of the
+        upcoming run.  Pair with :meth:`end_execution`."""
+        with self._lock:
+            self.executions += 1
+            seq = self.executions
+        self._current = (seq, trace_id)
+        return seq
+
+    def end_execution(self) -> None:
+        self._current = (None, None)
+
+    def current_execution(self) -> tuple[int | None, str | None]:
+        return self._current
 
     def record_execution(
         self,
@@ -113,20 +263,34 @@ class ServerMetrics:
         group_size: int,
         cache_hit: bool,
         lanes: int = 1,
+        seq: int | None = None,
     ) -> int:
         """One pipeline execution served ``group_size`` coalesced requests
         across ``lanes`` fused lanes (1 = not fused); returns the execution
-        sequence number."""
+        sequence number (allocated here unless ``seq`` carries the one
+        :meth:`begin_execution` handed out)."""
+        if seq is None:
+            with self._lock:
+                self.executions += 1
+                seq = self.executions
         with self._lock:
-            self.executions += 1
             if cache_hit:
                 self.cache_hits += 1
             self._group_sum += group_size
             if lanes > 1:
                 self.fused_executions += 1
                 self.fused_lanes += lanes
-            seq = self.executions
-        self.trace.record_span(Span(f"execute.{kind}", 0, "execute", seq, t0, t1))
+        self.registry.inc(
+            "executions", labels={"cache": "hit" if cache_hit else "miss"}
+        )
+        self.registry.observe("execution", max(t1 - t0, 0.0), labels={"kind": kind})
+        if lanes > 1:
+            self.registry.inc("fused_executions")
+            self.registry.inc("fused_lanes", lanes)
+        self.registry.set_gauge("fusion_lanes", lanes)
+        self.trace.record_span(
+            Span(f"execute.{kind}", 0, "execute", seq, t0, t1, execution=seq)
+        )
         return seq
 
     def record_fuse_bypass(self, reason: str) -> None:
@@ -137,12 +301,15 @@ class ServerMetrics:
         group fell back to unfused coalescing)."""
         with self._lock:
             self.fuse_bypass[reason] = self.fuse_bypass.get(reason, 0) + 1
+        self.registry.inc("fuse_bypass", labels={"reason": reason})
 
     # -- transport ----------------------------------------------------------
     def record_connection_open(self, active: int) -> None:
         with self._lock:
             self.connections_opened += 1
             self.connections_active = active
+        self.registry.inc("connections_opened")
+        self.registry.set_gauge("connections_active", active)
         self.trace.record_queue(
             QueueSample(CONN_STREAM, time.perf_counter(), active, "put")
         )
@@ -151,6 +318,8 @@ class ServerMetrics:
         with self._lock:
             self.connections_closed += 1
             self.connections_active = active
+        self.registry.inc("connections_closed")
+        self.registry.set_gauge("connections_active", active)
         self.trace.record_queue(
             QueueSample(CONN_STREAM, time.perf_counter(), active, "get")
         )
@@ -159,11 +328,15 @@ class ServerMetrics:
         with self._lock:
             self.frames_in += 1
             self.bytes_in += nbytes
+        self.registry.inc("frames", labels={"dir": "in"})
+        self.registry.inc("bytes", nbytes, labels={"dir": "in"})
 
     def record_frame_out(self, nbytes: int) -> None:
         with self._lock:
             self.frames_out += 1
             self.bytes_out += nbytes
+        self.registry.inc("frames", labels={"dir": "out"})
+        self.registry.inc("bytes", nbytes, labels={"dir": "out"})
 
     def record_decode_error(self) -> None:
         """A frame that could not be decoded (oversized, garbage, bad
@@ -171,45 +344,114 @@ class ServerMetrics:
         error."""
         with self._lock:
             self.decode_errors += 1
+        self.registry.inc("decode_errors")
 
     def record_disconnect(self) -> None:
         """A client vanished mid-stream (EOF inside a frame or a broken
         pipe while responses were still owed)."""
         with self._lock:
             self.disconnects += 1
+        self.registry.inc("disconnects")
 
-    def record_request(self, kind: str, request_id: int, t0: float, status: str) -> None:
+    def record_request(
+        self,
+        kind: str,
+        request_id: int,
+        t0: float,
+        status: str,
+        trace_id: str | None = None,
+        execution: int | None = None,
+    ) -> None:
         """Terminal accounting of one request (span on the shared
-        perf_counter timeline; ``t0`` is the admission timestamp)."""
-        self.trace.record_span(
-            Span(f"request.{kind}", 0, "request", request_id, t0, time.perf_counter())
-        )
+        perf_counter timeline; ``t0`` is the submission timestamp)."""
+        now = time.perf_counter()
+        self.registry.observe("request", max(now - t0, 0.0), labels={"kind": kind})
+        self.registry.inc("requests", labels={"kind": kind, "status": status})
+        if self.sampled(request_id):
+            self.trace.record_span(
+                Span(
+                    f"request.{kind}",
+                    0,
+                    "request",
+                    request_id,
+                    t0,
+                    now,
+                    trace=trace_id,
+                    execution=execution,
+                )
+            )
         if status == "ok":
             with self._lock:
                 self.served += 1
+            self.registry.inc("served")
 
     # -- queries ------------------------------------------------------------
-    def latency_percentiles(self, kind: str | None = None) -> dict[str, float]:
-        filter_name = f"request.{kind}" if kind is not None else None
-        if filter_name is None:
-            # percentile over every request span regardless of kind
-            durations = [
-                s for s in self.trace.spans if s.phase == "request"
-            ]
-            probe = Trace()
-            probe.merge(spans=durations)
-            return probe.duration_percentiles(phase="request")
-        return self.trace.duration_percentiles(filter=filter_name, phase="request")
+    def latency_percentiles(
+        self, kind: str | None = None, window: float | None = None
+    ) -> dict[str, float]:
+        """Request latency percentiles from the windowed histograms —
+        O(buckets) however many requests the server has seen.
+        ``window=None`` reads all-time; a number reads the trailing
+        window of that many seconds."""
+        if kind is None:
+            return self.registry.merged_percentiles("request", window=window)
+        return self.registry.percentiles(
+            "request", labels={"kind": kind}, window=window
+        )
+
+    def stage_percentiles(
+        self, kind: str, stage: str, window: float | None = None
+    ) -> dict[str, float]:
+        """Per-stage latency percentiles for one request kind."""
+        return self.registry.percentiles(
+            "stage", labels={"kind": kind, "stage": stage}, window=window
+        )
+
+    def window(
+        self, seconds: float = 10.0, kind: str | None = None
+    ) -> dict[str, Any]:
+        """The windowed signal an autoscale loop consumes: latency
+        percentiles, throughput, and pressure over the trailing
+        ``seconds`` (≤ 60, per-second resolution).
+
+        Returns::
+
+            {"seconds": ..., "latency": {"p50"/"p95"/"p99": s},
+             "throughput_rps": served per second,
+             "admitted_rps" / "error_rps" / "shed_rps" / "expired_rps": ...,
+             "queue_depth_max": max depth seen in the window,
+             "batch_size_max": ...}
+
+        ``kind`` narrows latency to one request kind; rates are always
+        server-wide.  All numbers come from the bounded registry, so the
+        call is O(buckets) regardless of uptime — exactly the §4.3
+        cost-model input the ROADMAP's autoscale item needs."""
+        reg = self.registry
+        return {
+            "seconds": seconds,
+            "latency": self.latency_percentiles(kind=kind, window=seconds),
+            "throughput_rps": reg.rate("served", seconds),
+            "admitted_rps": reg.rate("admitted", seconds),
+            "error_rps": reg.rate("errors", seconds),
+            "shed_rps": reg.rate("shed", seconds),
+            "expired_rps": reg.rate("expired", seconds),
+            "queue_depth_max": reg.gauge_window_max("queue_depth", seconds),
+            "batch_size_max": reg.gauge_window_max("batch_size", seconds),
+        }
 
     def mean_batch_occupancy(self) -> float:
         with self._lock:
             return self._occupancy_sum / self._batches if self._batches else 0.0
 
     def queue_depth_max(self) -> int:
-        return self.trace.max_depth(QUEUE_STREAM)
+        """All-time queue-depth high-water mark (registry peak gauge, so
+        it survives trace rotation)."""
+        return int(self.registry.gauge_peak("queue_depth"))
 
-    def snapshot(self) -> dict[str, object]:
-        """The ``stats`` response payload."""
+    def snapshot(self, deep: bool = False) -> dict[str, object]:
+        """The ``stats`` response payload.  ``deep=True`` adds the full
+        windowed registry view (per-kind and per-stage percentiles for
+        the 1 s / 10 s / 60 s trailing windows, rates, gauge maxima)."""
         with self._lock:
             counters = {
                 "admitted": self.admitted,
@@ -248,19 +490,51 @@ class ServerMetrics:
                 "decode_errors": self.decode_errors,
                 "disconnects": self.disconnects,
             }
-        return {
+        out: dict[str, object] = {
             **counters,
             "fusion": fusion,
             "transport": transport,
             "batch_occupancy_mean": round(self.mean_batch_occupancy(), 3),
             "queue_depth_max": self.queue_depth_max(),
+            "dropped_spans": self.trace.dropped_spans,
+            "dropped_events": self.trace.dropped_events,
             "latency": {
                 k: round(v, 6) for k, v in self.latency_percentiles().items()
             },
         }
+        if deep:
+            out["windows"] = self.registry.snapshot(windows=DEFAULT_WINDOWS)
+        return out
+
+    def render_prometheus(self, namespace: str = "repro_serve") -> str:
+        """Prometheus text exposition of the windowed registry plus the
+        trace-retention counter."""
+        text = self.registry.render_prometheus(namespace=namespace)
+        return (
+            text
+            + f"# TYPE {namespace}_dropped_spans_total counter\n"
+            + f"{namespace}_dropped_spans_total {self.trace.dropped_spans}\n"
+        )
+
+    def engine_tap(self, downstream: TraceCollector | None = None) -> EngineSpanTap:
+        """The collector the server installs as ``EngineOptions.trace``."""
+        return EngineSpanTap(self, downstream)
+
+    def export_trace(self) -> Trace:
+        """A consistent standalone copy of the bounded trace with the
+        current snapshot folded into its metadata — safe to export while
+        the server is still running, and leaves the live trace's
+        metadata untouched (repeated exports do not stack keys)."""
+        spans, queues, blocked, meta = self.trace.copy_events()
+        out = Trace()
+        out.merge(spans=spans, queue_samples=queues, blocked=blocked)
+        snap = self.snapshot()
+        snap.pop("windows", None)
+        out.note(**meta, **{f"serve.{k}": v for k, v in snap.items()})
+        return out
 
     def write_jsonl(self, path: str) -> None:
-        """Export the full metrics trace as JSON lines (counters ride in
-        the trace metadata)."""
-        self.trace.note(**{f"serve.{k}": v for k, v in self.snapshot().items()})
-        write_jsonl(self.trace, path)
+        """Export the metrics trace as JSON lines (counters ride in the
+        trace metadata).  Idempotent: exports a copy, so repeated calls
+        never stack ``serve.*`` keys into the live trace."""
+        write_jsonl(self.export_trace(), path)

@@ -44,6 +44,7 @@ from __future__ import annotations
 import itertools
 import threading
 import time
+import uuid
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Protocol, Sequence, runtime_checkable
 
@@ -70,8 +71,20 @@ _request_ids = itertools.count(1)
 
 #: version of the Request/Response wire schema; bump on any change to the
 #: header layout or the value-encoding markers below (2: response header
-#: gained ``fused_lanes``)
-SCHEMA_VERSION = 2
+#: gained ``fused_lanes``; 3: request/response headers carry the optional
+#: distributed-tracing ``trace`` id)
+SCHEMA_VERSION = 3
+
+#: schema versions this build decodes.  v3 only *adds* the optional
+#: ``trace`` key, so v2 frames decode with a server-minted trace id and
+#: v2 readers that tolerate unknown keys can ignore it.
+SUPPORTED_SCHEMAS = (2, 3)
+
+
+def mint_trace_id() -> str:
+    """A fresh 64-bit request trace id (hex), minted client side for
+    remote requests and at construction otherwise."""
+    return uuid.uuid4().hex[:16]
 
 
 class WireFormatError(ValueError):
@@ -184,10 +197,10 @@ def _hashable(value: Any) -> Any:
 
 def _require_schema(header: Mapping[str, Any]) -> None:
     version = header.get("schema")
-    if version != SCHEMA_VERSION:
+    if version not in SUPPORTED_SCHEMAS:
         raise SchemaVersionError(
             f"unsupported wire schema version {version!r} "
-            f"(this build speaks {SCHEMA_VERSION})"
+            f"(this build speaks {', '.join(map(str, SUPPORTED_SCHEMAS))})"
         )
 
 
@@ -202,6 +215,12 @@ class Request:
     id: int = field(default_factory=lambda: next(_request_ids))
     #: admission timestamp (monotonic), set by the server
     t_submit: float = field(default_factory=time.monotonic)
+    #: end-to-end distributed-trace id (client-minted for remote
+    #: requests; the server mints one when a v2 frame omits it)
+    trace_id: str = field(default_factory=mint_trace_id)
+    #: submission timestamp on the span timeline (``perf_counter``),
+    #: the zero point of the request's stage spans
+    t_perf: float = field(default_factory=time.perf_counter)
 
     def expired(self, now: float | None = None) -> bool:
         if self.deadline is None:
@@ -226,6 +245,7 @@ class Request:
                 "kind": self.kind,
                 "body": encode_value(dict(self.body), segments),
                 "deadline": remaining,
+                "trace": self.trace_id,
             },
             segments,
         )
@@ -250,10 +270,14 @@ class Request:
             raise WireFormatError("request kind must be str and body a mapping")
         if remaining is not None and not isinstance(remaining, (int, float)):
             raise WireFormatError("request deadline must be a number or null")
+        trace = header.get("trace")  # absent on v2 frames: mint locally
+        if trace is not None and not isinstance(trace, str):
+            raise WireFormatError("request trace id must be a string or absent")
         return cls(
             kind=kind,
             body=body,
             deadline=time.monotonic() + remaining if remaining is not None else None,
+            trace_id=trace if trace else mint_trace_id(),
         )
 
 
@@ -281,6 +305,8 @@ class Response:
     cache_hit: bool = False
     #: suggested client backoff when status == "rejected"
     retry_after: float | None = None
+    #: the request's distributed-trace id, echoed back (None from v2 peers)
+    trace_id: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -305,6 +331,7 @@ class Response:
                 "fused_lanes": self.fused_lanes,
                 "cache_hit": self.cache_hit,
                 "retry_after": self.retry_after,
+                "trace": self.trace_id,
             },
             segments,
         )
@@ -328,6 +355,7 @@ class Response:
                 fused_lanes=header.get("fused_lanes", 0),
                 cache_hit=bool(header.get("cache_hit", False)),
                 retry_after=header.get("retry_after"),
+                trace_id=header.get("trace"),
             )
         except KeyError as exc:
             raise WireFormatError(f"response header missing {exc}") from None

@@ -87,6 +87,16 @@ class ServerOptions:
     fuse: bool = True
     #: cap on lanes per fused execution; wider fusion groups are chunked
     max_fuse_lanes: int = 32
+    #: record per-request stage spans and link engine spans to serving
+    #: executions (the distributed-tracing surface); counters and
+    #: windowed histograms are always on regardless
+    trace_requests: bool = True
+    #: keep stage/request spans for one request in every N (1 = all);
+    #: thins the exported trace under heavy load, never the stats
+    trace_sample: int = 1
+    #: per-event-class retention of the bounded metrics trace
+    #: (None = unbounded, the pre-rotation behaviour)
+    trace_retention: int | None = 4096
 
     def __post_init__(self) -> None:
         if self.max_queue < 1:
@@ -126,6 +136,14 @@ class ServerOptions:
             raise ValueError(
                 f"max_fuse_lanes must be >= 1, got {self.max_fuse_lanes}"
             )
+        if self.trace_sample < 1:
+            raise ValueError(
+                f"trace_sample must be >= 1, got {self.trace_sample}"
+            )
+        if self.trace_retention is not None and self.trace_retention < 1:
+            raise ValueError(
+                f"trace_retention must be >= 1 or None, got {self.trace_retention}"
+            )
 
     def replace(self, **changes: Any) -> "ServerOptions":
         import dataclasses
@@ -151,9 +169,22 @@ class PipelineServer:
             if service.name in self.services or service.name == STATS_KIND:
                 raise ValueError(f"duplicate or reserved service {service.name!r}")
             self.services[service.name] = service
-        self.metrics = ServerMetrics()
+        self.metrics = ServerMetrics(
+            retention=self.options.trace_retention,
+            sample=self.options.trace_sample,
+            trace_stages=self.options.trace_requests,
+        )
         self.cache = PlanCache(self.options.plan_cache_capacity)
-        self.pool = SessionPool(self.options.engine_options, self.cache)
+        engine_options = self.options.engine_options
+        if self.options.trace_requests:
+            # tee: the caller's own collector (if any) still sees every
+            # engine event; the tap additionally stamps spans with the
+            # current serving execution and folds them into the metrics
+            # trace, joining filter spans to the requests they answer
+            engine_options = engine_options.replace(
+                trace=self.metrics.engine_tap(downstream=engine_options.trace)
+            )
+        self.pool = SessionPool(engine_options, self.cache)
         self.queue = AdmissionQueue(
             capacity=self.options.max_queue,
             policy=self.options.admission,
@@ -304,6 +335,8 @@ class PipelineServer:
             )
             return pending
         self.metrics.record_admission(len(self.queue))
+        pending.t_admitted = time.perf_counter()
+        self._stage(pending, "admission", request.t_perf, pending.t_admitted)
         return pending
 
     def request(
@@ -337,14 +370,43 @@ class PipelineServer:
                         self.metrics.record_error()
                         self._finish(pending, status="error", error=detail)
 
+    def _stage(
+        self,
+        pending: PendingResponse,
+        stage: str,
+        t0: float,
+        t1: float,
+        execution: int | None = None,
+    ) -> None:
+        """One stage of one request's life — histogram always, linked
+        span when request tracing is on."""
+        request = pending.request
+        self.metrics.record_stage(
+            request.kind,
+            stage,
+            t0,
+            t1,
+            request_id=request.id if self.options.trace_requests else None,
+            trace_id=request.trace_id,
+            execution=execution,
+        )
+
     def _run_batch(self, batch: list[PendingResponse]) -> None:
         """Serve one micro-batch: group compatible requests, fuse groups
         the service marks fusable, execute each unit once, demultiplex."""
         groups: dict[str, list[PendingResponse]] = {}
         plans: dict[str, ServicePlan] = {}
         now = time.monotonic()
+        t_dequeued = time.perf_counter()
         for pending in batch:
             request = pending.request
+            pending.t_dequeued = t_dequeued
+            self._stage(
+                pending,
+                "queue",
+                getattr(pending, "t_admitted", request.t_perf),
+                t_dequeued,
+            )
             if request.expired(now):
                 self.metrics.record_expired()
                 self._finish(
@@ -352,10 +414,18 @@ class PipelineServer:
                 )
                 continue
             if request.kind == STATS_KIND:
+                # body dispatch: {"deep": true} returns the windowed
+                # registry view, {"format": "prometheus"} the text
+                # exposition; default stays the flat snapshot
+                body = request.body or {}
+                if body.get("format") == "prometheus":
+                    value: Any = self.metrics.render_prometheus()
+                else:
+                    value = self.stats(deep=bool(body.get("deep")))
                 self._finish(
                     pending,
                     status="ok",
-                    value=self.stats(),
+                    value=value,
                     batch_size=len(batch),
                     group_size=1,
                 )
@@ -486,6 +556,15 @@ class PipelineServer:
             return
         lanes = len(live_plans)
         t0 = time.perf_counter()
+        for members in live_members:
+            for pending in members:
+                self._stage(
+                    pending,
+                    "assemble",
+                    getattr(pending, "t_dequeued", pending.request.t_perf),
+                    t0,
+                )
+        seq = self.metrics.begin_execution()  # lanes share one execution
         try:
             run, cache_hit = self.pool.execute(fused)
         except Exception:  # noqa: BLE001 - whole fused run failed
@@ -495,6 +574,8 @@ class PipelineServer:
                     self.metrics.record_error()
                     self._finish(pending, status="error", error=detail)
             return
+        finally:
+            self.metrics.end_execution()
         t1 = time.perf_counter()
         self.metrics.record_execution(
             fused.service,
@@ -503,11 +584,16 @@ class PipelineServer:
             sum(len(members) for members in live_members),
             cache_hit,
             lanes=lanes,
+            seq=seq,
         )
         # per-request service time: the fused run did the work of `lanes`
         # separate executions, so each lane is charged a 1/lanes share
         self.queue.observe_service_time((t1 - t0) / lanes)
+        for members in live_members:
+            for pending in members:
+                self._stage(pending, "execute", t0, t1, execution=seq)
         for lane, members in enumerate(live_members):
+            t_lane0 = time.perf_counter()
             try:
                 value = fused.extract_lane(run.payloads, lane)
             except Exception:  # noqa: BLE001 - errors only this lane
@@ -516,7 +602,9 @@ class PipelineServer:
                     self.metrics.record_error()
                     self._finish(pending, status="error", error=detail)
                 continue
+            t_lane1 = time.perf_counter()
             for pending in members:
+                self._stage(pending, "extract", t_lane0, t_lane1, execution=seq)
                 self._finish(
                     pending,
                     status="ok",
@@ -526,6 +614,7 @@ class PipelineServer:
                     batch_size=batch_size,
                     cache_hit=cache_hit,
                     fused_lanes=lanes,
+                    execution=seq,
                 )
 
     def _run_group_swept(
@@ -537,8 +626,36 @@ class PipelineServer:
         """_execute_group minus the stall hook and deadline sweep — for
         members that already survived the fused path's sweep."""
         t0 = time.perf_counter()
+        for pending in members:
+            self._stage(
+                pending,
+                "assemble",
+                getattr(pending, "t_dequeued", pending.request.t_perf),
+                t0,
+            )
+        # the sole member's trace id rides on the engine spans; a shared
+        # execution keeps only the execution-id link
+        seq = self.metrics.begin_execution(
+            members[0].request.trace_id if len(members) == 1 else None
+        )
         try:
             run, cache_hit = self.pool.execute(plan)
+        except Exception:  # noqa: BLE001 - per-group failure isolation
+            detail = traceback.format_exc()
+            for pending in members:
+                self.metrics.record_error()
+                self._finish(pending, status="error", error=detail)
+            return
+        finally:
+            self.metrics.end_execution()
+        t1 = time.perf_counter()
+        self.metrics.record_execution(
+            plan.service, t0, t1, len(members), cache_hit, seq=seq
+        )
+        self.queue.observe_service_time((t1 - t0) / max(len(members), 1))
+        for pending in members:
+            self._stage(pending, "execute", t0, t1, execution=seq)
+        try:
             value = plan.extract(run.payloads)
         except Exception:  # noqa: BLE001 - per-group failure isolation
             detail = traceback.format_exc()
@@ -546,12 +663,9 @@ class PipelineServer:
                 self.metrics.record_error()
                 self._finish(pending, status="error", error=detail)
             return
-        t1 = time.perf_counter()
-        self.metrics.record_execution(
-            plan.service, t0, t1, len(members), cache_hit
-        )
-        self.queue.observe_service_time((t1 - t0) / max(len(members), 1))
+        t2 = time.perf_counter()
         for pending in members:
+            self._stage(pending, "extract", t1, t2, execution=seq)
             self._finish(
                 pending,
                 status="ok",
@@ -560,6 +674,7 @@ class PipelineServer:
                 group_size=len(members),
                 batch_size=batch_size,
                 cache_hit=cache_hit,
+                execution=seq,
             )
 
     # -- helpers -------------------------------------------------------------
@@ -575,14 +690,17 @@ class PipelineServer:
         cache_hit: bool = False,
         retry_after: float | None = None,
         fused_lanes: int = 0,
+        execution: int | None = None,
     ) -> None:
         request = pending.request
         latency = time.monotonic() - request.t_submit
         self.metrics.record_request(
             request.kind,
             request.id,
-            time.perf_counter() - latency,
+            request.t_perf,
             status,
+            trace_id=request.trace_id if self.options.trace_requests else None,
+            execution=execution,
         )
         pending.resolve(
             Response(
@@ -598,12 +716,15 @@ class PipelineServer:
                 cache_hit=cache_hit,
                 retry_after=retry_after,
                 fused_lanes=fused_lanes,
+                trace_id=request.trace_id,
             )
         )
 
-    def stats(self) -> dict[str, object]:
-        """The ``stats`` payload: serving counters, percentiles, cache."""
-        snapshot = self.metrics.snapshot()
+    def stats(self, deep: bool = False) -> dict[str, object]:
+        """The ``stats`` payload: serving counters, percentiles, cache.
+        ``deep=True`` adds the full windowed registry view (per-kind and
+        per-stage percentiles over the 1 s / 10 s / 60 s windows)."""
+        snapshot = self.metrics.snapshot(deep=deep)
         snapshot["plan_cache"] = {
             "entries": len(self.cache),
             **self.cache.stats.as_dict(),

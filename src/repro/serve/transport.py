@@ -53,6 +53,7 @@ import queue
 import socket
 import struct
 import threading
+import time
 from typing import TYPE_CHECKING, Any, BinaryIO, Sequence
 
 from .requests import (
@@ -379,6 +380,7 @@ class _Connection:
                     T_ERROR,
                     error_header(f"response not wire-encodable: {exc}", cid=cid),
                 )
+            t0 = time.perf_counter()
             try:
                 with self.wlock:
                     self.sock.sendall(frame)
@@ -388,6 +390,17 @@ class _Connection:
                 metrics.record_disconnect()
                 self.close()
                 return
+            # the last stage of a remote request's life: the response
+            # write back over the wire, linked to the request's trace
+            request = pending.request
+            metrics.record_stage(
+                request.kind,
+                "write",
+                t0,
+                time.perf_counter(),
+                request_id=request.id,
+                trace_id=request.trace_id,
+            )
 
     # -- helpers -------------------------------------------------------------
     def _send_hello(self) -> None:

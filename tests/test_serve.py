@@ -313,6 +313,23 @@ class TestAdmissionQueue:
 # ---------------------------------------------------------------------------
 
 
+class _GatedService:
+    """Wraps a service so ``plan()`` blocks until released — pins the
+    dispatcher mid-batch so admission tests see a deterministically
+    busy server instead of racing a sleep against compile time."""
+
+    def __init__(self, inner) -> None:
+        self._inner = inner
+        self.name = inner.name
+        self.entered = threading.Event()
+        self.release = threading.Event()
+
+    def plan(self, body):
+        self.entered.set()
+        assert self.release.wait(60), "gated service never released"
+        return self._inner.plan(body)
+
+
 class TestServer:
     def test_coalescing_one_execution_per_group(self, knn_service):
         opts = ServerOptions(max_batch=16, batch_deadline=0.25)
@@ -361,29 +378,35 @@ class TestServer:
             assert server.cache.stats.lookups == 0
 
     def test_reject_policy_resolves_future(self, knn_service):
+        gated = _GatedService(knn_service)
         opts = ServerOptions(
             admission="reject", max_queue=1, max_batch=1, batch_deadline=0.0
         )
-        with PipelineServer([knn_service], opts) as server:
-            first = server.submit("knn", {"x": 0.2})  # dispatcher picks up
-            time.sleep(0.1)  # ... and is now busy compiling
+        with PipelineServer([gated], opts) as server:
+            first = server.submit("knn", {"x": 0.2})
+            # the dispatcher holds the first batch inside plan() — the
+            # queue state below is deterministic, not sleep-based
+            assert gated.entered.wait(30)
             backlog = server.submit("knn", {"x": 0.4})  # fills the queue
             rejected = server.submit("knn", {"x": 0.6})
             response = rejected.result(timeout=1)
             assert response.status == "rejected"
             assert response.retry_after is not None and response.retry_after > 0
+            gated.release.set()
             assert first.result(60).ok and backlog.result(60).ok
 
     def test_shed_oldest_policy_resolves_victim(self, knn_service):
+        gated = _GatedService(knn_service)
         opts = ServerOptions(
             admission="shed-oldest", max_queue=1, max_batch=1, batch_deadline=0.0
         )
-        with PipelineServer([knn_service], opts) as server:
+        with PipelineServer([gated], opts) as server:
             first = server.submit("knn", {"x": 0.2})
-            time.sleep(0.1)
+            assert gated.entered.wait(30)
             victim = server.submit("knn", {"x": 0.4})
             newcomer = server.submit("knn", {"x": 0.6})
             assert victim.result(timeout=1).status == "shed"
+            gated.release.set()
             assert first.result(60).ok and newcomer.result(60).ok
             assert server.metrics.snapshot()["shed"] == 1
 
@@ -486,6 +509,220 @@ class TestMetrics:
         assert pcts["p50"] == pytest.approx(0.020)
         assert pcts["p99"] == pytest.approx(0.040)
         assert Trace().duration_percentiles() == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+
+class TestObservability:
+    """Request tracing, bounded retention, and windowed percentiles."""
+
+    def test_stage_spans_linked_to_engine_spans(self, knn_service, vm_service):
+        opts = ServerOptions(max_batch=8, batch_deadline=0.02)
+        with PipelineServer([knn_service, vm_service], opts) as server:
+            client = LocalClient(server)
+            responses = client.burst(
+                [("knn", {"x": 0.2, "y": 0.2, "z": 0.2})] * 3
+                + [("vmscope", {"query": "small"})]
+            )
+            assert all(r.ok for r in responses)
+            trace = server.metrics.export_trace()
+        phases = {s.phase for s in trace.spans}
+        # the full request lifecycle, stage by stage
+        assert {
+            "admission",
+            "queue",
+            "assemble",
+            "execute",
+            "extract",
+            "request",
+        } <= phases
+        # every response echoed a trace id, and those ids appear on spans
+        span_traces = {s.trace for s in trace.spans if s.trace}
+        assert {r.trace_id for r in responses} <= span_traces
+        # execution ids join serve-level stages to engine-level filter
+        # spans recorded through the tap
+        by_execution: dict[int, set] = {}
+        for s in trace.spans:
+            if s.execution is not None:
+                by_execution.setdefault(s.execution, set()).add(s.phase)
+        assert by_execution
+        linked = [p for p in by_execution.values() if "execute" in p]
+        assert linked
+        engine_phases = {"generate", "process", "init", "finalize"}
+        assert any(p & engine_phases for p in linked)
+
+    def test_retention_cap_bounds_trace_not_percentiles(self, knn_service):
+        from repro.serve.metrics import ServerMetrics
+
+        metrics = ServerMetrics(retention=64)
+        for i in range(2000):
+            # all fast except a slow tail the percentiles must still see,
+            # even after those early spans rotate out of the trace
+            dur = 0.5 if i < 200 else 0.001
+            now = time.perf_counter()
+            metrics.record_stage(
+                "knn", "execute", now - dur, now, request_id=i, trace_id=f"t{i}"
+            )
+            metrics.record_request("knn", i, now - dur, "ok", trace_id=f"t{i}")
+        # the trace is bounded (cap plus the amortized trim slack)...
+        assert len(metrics.trace.spans) <= 64 * 2
+        snap = metrics.snapshot()
+        assert snap["dropped_spans"] > 0
+        assert snap["served"] == 2000  # counters never sampled or dropped
+        # ...while percentiles come from the complete histogram
+        # population: the 10% slow tail is far above the p50, still
+        # visible at p95+
+        pcts = metrics.latency_percentiles()
+        assert pcts["p50"] < 0.01
+        assert pcts["p95"] > 0.1
+
+    def test_snapshot_cost_flat_under_load(self):
+        import timeit
+
+        from repro.serve.metrics import ServerMetrics
+
+        metrics = ServerMetrics(retention=256)
+
+        def feed(n: int) -> None:
+            for i in range(n):
+                metrics.record_stage("knn", "execute", 0.0, 0.001, request_id=i)
+                metrics.record_request("knn", i, 0.0, "ok")
+
+        feed(500)
+        t_small = min(timeit.repeat(metrics.snapshot, number=20, repeat=3))
+        feed(4500)
+        t_large = min(timeit.repeat(metrics.snapshot, number=20, repeat=3))
+        # 10x the requests must not mean ~10x the snapshot: the windowed
+        # registry answers from fixed buckets.  Generous bound for CI noise.
+        assert t_large < t_small * 4 + 0.05, (t_small, t_large)
+
+    def test_windowed_percentiles_and_autoscale_window(
+        self, knn_service, vm_service
+    ):
+        opts = ServerOptions(max_batch=8, batch_deadline=0.02)
+        with PipelineServer([knn_service, vm_service], opts) as server:
+            client = LocalClient(server)
+            client.burst(
+                [("knn", {"x": 0.3, "y": 0.3, "z": 0.3})] * 4
+                + [("vmscope", {"query": "small"})]
+            )
+            deep = server.stats(deep=True)
+            window = server.metrics.window(seconds=10.0)
+            per_stage = server.metrics.stage_percentiles("knn", "execute", 10.0)
+        hists = deep["windows"]["histograms"]
+        assert any(key.startswith("stage{") for key in hists)
+        assert deep["latency"]["p99"] > 0.0
+        # the documented autoscale signal
+        assert window["throughput_rps"] > 0.0
+        assert window["latency"]["p99"] >= window["latency"]["p50"] > 0.0
+        assert window["queue_depth_max"] >= 1
+        assert per_stage["p99"] > 0.0
+
+    def test_sampling_thins_spans_not_counters(self):
+        from repro.serve.metrics import ServerMetrics
+
+        metrics = ServerMetrics(sample=4)
+        for i in range(100):
+            metrics.record_stage("knn", "queue", 0.0, 0.001, request_id=i)
+        spans = [s for s in metrics.trace.spans if s.phase == "queue"]
+        assert len(spans) == 25  # one request in four keeps its spans
+        assert (
+            metrics.registry.counter_total(
+                "stage", labels={"kind": "knn", "stage": "queue"}
+            )
+            == 0.0
+        )  # histograms are not counters...
+        pcts = metrics.stage_percentiles("knn", "queue")
+        assert pcts["p50"] > 0.0  # ...but every observation landed
+
+    def test_write_jsonl_idempotent(self, knn_service, tmp_path):
+        opts = ServerOptions(max_batch=4, batch_deadline=0.01)
+        with PipelineServer([knn_service], opts) as server:
+            client = LocalClient(server)
+            assert client.knn(0.2, 0.2, 0.2).ok
+            a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+            server.metrics.write_jsonl(str(a))
+            server.metrics.write_jsonl(str(b))
+        assert a.read_bytes() == b.read_bytes()
+        trace = read_jsonl(str(a))
+        assert trace.meta["serve.served"] >= 1
+
+    def test_prometheus_exposition_via_stats(self, knn_service):
+        opts = ServerOptions(max_batch=4, batch_deadline=0.01)
+        with PipelineServer([knn_service], opts) as server:
+            client = LocalClient(server)
+            assert client.knn(0.2, 0.2, 0.2).ok
+            text = client.prometheus()
+        assert "repro_serve_served_total 1" in text
+        assert "repro_serve_stage_seconds_bucket" in text
+        assert "repro_serve_dropped_spans_total" in text
+
+
+class TestStatsConcurrency:
+    def test_stats_hammer_during_mixed_burst(self, knn_service, vm_service):
+        """``stats`` from many threads — shallow, deep, and Prometheus,
+        over both transports — while fused and unfused work is in
+        flight must never raise or return an inconsistent snapshot."""
+        from repro.serve import RemoteClient
+
+        opts = ServerOptions(
+            max_batch=16, batch_deadline=0.01, fuse=True, max_fuse_lanes=8
+        )
+        errors: list[BaseException] = []
+        snapshots: list[dict] = []
+        stop = threading.Event()
+
+        def hammer(client) -> None:
+            while not stop.is_set():
+                try:
+                    snapshots.append(client.stats(deep=True))
+                    client.prometheus()
+                    client.stats()
+                except BaseException as exc:  # noqa: BLE001 - surfaced below
+                    errors.append(exc)
+                    return
+
+        def burst(client, requests) -> None:
+            try:
+                responses = client.burst(requests)
+                bad = [r for r in responses if not r.ok]
+                if bad:
+                    errors.append(AssertionError(bad[0].error))
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        # distinct knn points fuse into lanes; repeated points coalesce
+        # (unfused); vmscope bypasses fusion entirely
+        fused = [
+            ("knn", {"x": 0.1 + i * 0.05, "y": 0.2, "z": 0.3}) for i in range(8)
+        ]
+        coalesced = [("knn", {"x": 0.5, "y": 0.5, "z": 0.5})] * 6
+        bypass = [("vmscope", {"query": "small"})] * 2
+        with PipelineServer([knn_service, vm_service], opts) as server:
+            local = LocalClient(server, timeout=300.0)
+            with RemoteClient(server.listen(), timeout=300.0) as remote:
+                hammers = [
+                    threading.Thread(target=hammer, args=(c,))
+                    for c in (local, remote, local, remote)
+                ]
+                bursts = [
+                    threading.Thread(target=burst, args=(local, fused + coalesced)),
+                    threading.Thread(target=burst, args=(remote, coalesced + bypass)),
+                ]
+                for t in hammers + bursts:
+                    t.start()
+                for t in bursts:
+                    t.join(timeout=300)
+                stop.set()
+                for t in hammers:
+                    t.join(timeout=60)
+        assert not errors, errors[:1]
+        assert snapshots
+        for snap in snapshots:
+            # internally consistent at every instant it was taken
+            assert snap["served"] <= snap["admitted"]
+            assert "windows" in snap and snap["dropped_spans"] >= 0
+        final = server.stats()
+        assert final["served"] >= len(fused + coalesced) * 1  # both bursts
+        assert final["fusion"]["fused_executions"] >= 1
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,283 @@
+"""The windowed time-series primitives behind serving ``stats``.
+
+Everything here runs on an injected clock: tests step time by hand, so
+window expiry, ring wraparound, and rate math are deterministic.  The
+percentile-accuracy test is the contract that lets the server answer
+latency quantiles from ~56 fixed buckets instead of rescanning a span
+list: log interpolation inside the winning bucket keeps the relative
+error under the bucket width (about 33% worst case, far less in
+practice) while snapshot cost stays independent of request count.
+"""
+
+import math
+import threading
+
+import pytest
+
+from repro.serve.timeseries import (
+    BUCKET_BOUNDS,
+    HIST_HI,
+    HIST_LO,
+    LatencyHistogram,
+    MetricsRegistry,
+    WindowedCounter,
+    WindowedGauge,
+    WindowedHistogram,
+    bucket_index,
+)
+
+
+class FakeClock:
+    def __init__(self, start: float = 1000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def tick(self, seconds: float) -> None:
+        self.now += seconds
+
+
+# ---------------------------------------------------------------------------
+# histogram
+# ---------------------------------------------------------------------------
+
+
+class TestBucketGeometry:
+    def test_bounds_are_log_spaced_and_increasing(self):
+        assert all(b < a for b, a in zip(BUCKET_BOUNDS, BUCKET_BOUNDS[1:]))
+        assert BUCKET_BOUNDS[0] > HIST_LO
+        assert math.isclose(BUCKET_BOUNDS[-1], HIST_HI)
+
+    def test_bucket_index_respects_bounds(self):
+        # every value lands in the bucket whose exclusive upper bound
+        # is the first one above it
+        for value in (1e-6, 1e-5, 2e-4, 0.0013, 0.05, 1.0, 7.7, 99.0):
+            i = bucket_index(value)
+            if i < len(BUCKET_BOUNDS):
+                assert value <= BUCKET_BOUNDS[i] * (1 + 1e-12)
+            if 0 < i <= len(BUCKET_BOUNDS):
+                assert value >= BUCKET_BOUNDS[i - 1] * (1 - 1e-12)
+
+    def test_clamping(self):
+        assert bucket_index(-3.0) == 0
+        assert bucket_index(0.0) == 0
+        assert bucket_index(1e9) == len(BUCKET_BOUNDS)  # overflow bucket
+
+
+class TestLatencyHistogram:
+    def test_empty(self):
+        h = LatencyHistogram()
+        assert h.count == 0 and h.mean == 0.0
+        assert h.percentile(50) == 0.0
+
+    def test_percentile_accuracy_on_uniform_samples(self):
+        import numpy as np
+
+        rng = np.random.default_rng(3)
+        values = rng.uniform(1e-4, 1.0, size=5000)
+        h = LatencyHistogram()
+        for v in values:
+            h.observe(float(v))
+        for q in (50, 90, 95, 99):
+            exact = float(np.percentile(values, q))
+            approx = h.percentile(q)
+            # log interpolation keeps us well inside one bucket width
+            assert abs(approx - exact) / exact < 0.35, (q, approx, exact)
+
+    def test_merge_is_additive(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        for v in (0.001, 0.01, 0.1):
+            a.observe(v)
+        for v in (0.002, 0.02):
+            b.observe(v)
+        a.merge(b)
+        assert a.count == 5
+        assert math.isclose(a.sum, 0.133)
+
+    def test_overflow_reports_ceiling(self):
+        h = LatencyHistogram()
+        h.observe(500.0)
+        assert h.percentile(99) == HIST_HI
+
+    def test_bad_quantile_rejected(self):
+        h = LatencyHistogram()
+        h.observe(0.1)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+
+# ---------------------------------------------------------------------------
+# windowed primitives on a hand-stepped clock
+# ---------------------------------------------------------------------------
+
+
+class TestWindowedCounter:
+    def test_rates_roll_off(self):
+        clock = FakeClock()
+        c = WindowedCounter()
+        for _ in range(10):
+            c.add(1.0, clock())
+        assert c.total == 10.0
+        assert c.window_sum(1.0, clock()) == 10.0
+        clock.tick(5.0)
+        c.add(2.0, clock())
+        # the burst of 10 fell out of the 1 s window but not the 10 s one
+        assert c.window_sum(1.0, clock()) == 2.0
+        assert c.window_sum(10.0, clock()) == 12.0
+        assert c.rate(10.0, clock()) == pytest.approx(1.2)
+        clock.tick(120.0)  # everything expires past the horizon
+        assert c.window_sum(60.0, clock()) == 0.0
+        assert c.total == 12.0  # the monotonic total never decays
+
+    def test_ring_wraparound_reuses_slots(self):
+        clock = FakeClock()
+        c = WindowedCounter()
+        for _ in range(200):  # > horizon laps of one event per second
+            c.add(1.0, clock())
+            clock.tick(1.0)
+        assert c.total == 200.0
+        # only the last 60 whole seconds are live
+        assert c.window_sum(60.0, clock()) <= 61.0
+
+
+class TestWindowedGauge:
+    def test_last_peak_window_max(self):
+        clock = FakeClock()
+        g = WindowedGauge()
+        g.set(10.0, clock())
+        clock.tick(2.0)
+        g.set(3.0, clock())
+        assert g.last == 3.0 and g.peak == 10.0
+        assert g.window_max(1.0, clock()) == 3.0
+        assert g.window_max(10.0, clock()) == 10.0
+        clock.tick(90.0)
+        assert g.window_max(60.0, clock()) == 0.0  # expired
+        assert g.peak == 10.0
+
+
+class TestWindowedHistogram:
+    def test_window_merges_only_live_seconds(self):
+        clock = FakeClock()
+        h = WindowedHistogram()
+        h.observe(0.001, clock())
+        clock.tick(30.0)
+        h.observe(1.0, clock())
+        assert h.cumulative.count == 2
+        recent = h.window(10.0, clock())
+        assert recent.count == 1
+        assert recent.percentile(50) == pytest.approx(1.0, rel=0.35)
+        assert h.window(60.0, clock()).count == 2
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+
+class TestMetricsRegistry:
+    def test_labelled_families_are_distinct(self):
+        clock = FakeClock()
+        reg = MetricsRegistry(clock=clock)
+        reg.inc("requests", labels={"kind": "knn"})
+        reg.inc("requests", 2.0, labels={"kind": "vmscope"})
+        assert reg.counter_total("requests", labels={"kind": "knn"}) == 1.0
+        assert reg.counter_total("requests", labels={"kind": "vmscope"}) == 2.0
+        assert reg.counter_total("requests", labels={"kind": "absent"}) == 0.0
+
+    def test_percentiles_windowed_vs_cumulative(self):
+        clock = FakeClock()
+        reg = MetricsRegistry(clock=clock)
+        reg.observe("request", 0.001, labels={"kind": "knn"})
+        clock.tick(30.0)
+        reg.observe("request", 1.0, labels={"kind": "knn"})
+        slow = reg.percentiles("request", {"kind": "knn"}, window=10.0)
+        both = reg.percentiles("request", {"kind": "knn"}, window=None)
+        assert slow["p50"] > 0.5  # only the recent slow one is in window
+        assert both["p50"] < 0.5  # cumulative median sits on the fast one
+        # unknown families answer zeros, not KeyError
+        assert reg.percentiles("request", {"kind": "nope"})["p99"] == 0.0
+
+    def test_merged_percentiles_across_labels(self):
+        clock = FakeClock()
+        reg = MetricsRegistry(clock=clock)
+        for _ in range(99):
+            reg.observe("request", 0.001, labels={"kind": "knn"})
+        reg.observe("request", 10.0, labels={"kind": "vmscope"})
+        merged = reg.merged_percentiles("request", qs=(50, 99.9))
+        assert merged["p50"] < 0.01 and merged["p99.9"] > 1.0
+
+    def test_snapshot_shape(self):
+        clock = FakeClock()
+        reg = MetricsRegistry(clock=clock)
+        reg.inc("served")
+        reg.set_gauge("queue_depth", 7.0)
+        reg.observe("stage", 0.01, labels={"kind": "knn", "stage": "execute"})
+        snap = reg.snapshot()
+        assert snap["counters"]["served"]["total"] == 1.0
+        assert snap["counters"]["served"]["rates"]["1s"] == 1.0
+        assert snap["gauges"]["queue_depth"]["peak"] == 7.0
+        key = 'stage{kind="knn",stage="execute"}'
+        assert snap["histograms"][key]["count"] == 1
+        assert set(snap["histograms"][key]["10s"]) == {"count", "p50", "p95", "p99"}
+
+    def test_prometheus_exposition(self):
+        clock = FakeClock()
+        reg = MetricsRegistry(clock=clock)
+        reg.inc("served", 3)
+        reg.set_gauge("queue_depth", 2.0)
+        reg.observe("stage", 0.01, labels={"kind": "knn", "stage": "execute"})
+        reg.observe("stage", 0.02, labels={"kind": "knn", "stage": "execute"})
+        text = reg.render_prometheus()
+        assert "# TYPE repro_serve_served_total counter" in text
+        assert "repro_serve_served_total 3" in text
+        assert "repro_serve_queue_depth 2" in text
+        assert "# TYPE repro_serve_stage_seconds histogram" in text
+        assert (
+            'repro_serve_stage_seconds_bucket{kind="knn",stage="execute",le="+Inf"} 2'
+            in text
+        )
+        assert 'repro_serve_stage_seconds_count{kind="knn",stage="execute"} 2' in text
+        # cumulative-bucket invariant: counts never decrease along le
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("repro_serve_stage_seconds_bucket")
+        ]
+        assert counts == sorted(counts)
+
+    def test_horizon_validation(self):
+        with pytest.raises(ValueError, match="horizon"):
+            MetricsRegistry(horizon=1)
+
+    def test_thread_safety_smoke(self):
+        reg = MetricsRegistry()
+        errors: list[Exception] = []
+
+        def writer() -> None:
+            try:
+                for i in range(500):
+                    reg.inc("served")
+                    reg.observe("request", 0.001 * (i % 7 + 1), labels={"kind": "knn"})
+                    reg.set_gauge("queue_depth", float(i % 11))
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        def reader() -> None:
+            try:
+                for _ in range(50):
+                    reg.snapshot()
+                    reg.render_prometheus()
+                    reg.merged_percentiles("request")
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer) for _ in range(4)] + [
+            threading.Thread(target=reader) for _ in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors
+        assert reg.counter_total("served") == 2000.0

@@ -33,6 +33,7 @@ from repro.serve import (
     Request,
     Response,
     SCHEMA_VERSION,
+    SUPPORTED_SCHEMAS,
     SchemaVersionError,
     ServerClosed,
     ServerOptions,
@@ -175,6 +176,37 @@ class TestWireSchema:
             Request.from_wire(header, segments)
         with pytest.raises(SchemaVersionError):
             Response.from_wire({"schema": None}, [])
+
+    def test_trace_id_on_the_wire(self):
+        req = Request(kind="knn", body={"x": 0.1})
+        header, segments = req.to_wire()
+        assert header["trace"] == req.trace_id
+        assert Request.from_wire(header, segments).trace_id == req.trace_id
+        resp = Response(id=1, kind="knn", status="ok", trace_id=req.trace_id)
+        assert Response.from_wire(*resp.to_wire()).trace_id == req.trace_id
+
+    def test_v2_request_without_trace_still_decodes(self):
+        # a v2 client has never heard of trace ids: the server must
+        # accept the frame and mint one itself
+        assert set(SUPPORTED_SCHEMAS) >= {2, SCHEMA_VERSION}
+        header, segments = Request(kind="knn", body={"x": 0.1}).to_wire()
+        header["schema"] = 2
+        header.pop("trace")
+        back = Request.from_wire(header, segments)
+        assert back.kind == "knn" and back.trace_id  # server-minted
+
+    def test_v2_response_without_trace_still_decodes(self):
+        header, segments = Response(id=1, kind="knn", status="ok").to_wire()
+        header["schema"] = 2
+        header.pop("trace")
+        back = Response.from_wire(header, segments)
+        assert back.ok and back.trace_id is None
+
+    def test_malformed_trace_id_rejected(self):
+        header, segments = Request(kind="knn").to_wire()
+        header["trace"] = 1234
+        with pytest.raises(WireFormatError, match="trace"):
+            Request.from_wire(header, segments)
 
     def test_segment_index_validated(self):
         # negative indices must not alias from the end of the segment list
@@ -549,6 +581,91 @@ class TestFlowControl:
                     [("knn", {"x": 0.3, "y": 0.3, "z": 0.3})] * 12
                 )
         assert len(responses) == 12 and all(r.ok for r in responses)
+
+
+# ---------------------------------------------------------------------------
+# Schema compatibility and trace context across the socket
+# ---------------------------------------------------------------------------
+
+
+class TestSchemaCompat:
+    def test_v2_client_served_by_v3_server(self, server):
+        addr = server.listen()
+        sock, rfile = _raw_connection(addr)
+        header, segments = Request(
+            kind="knn", body={"x": 0.3, "y": 0.3, "z": 0.3}
+        ).to_wire()
+        header["schema"] = 2
+        header.pop("trace")  # a v2 client never sends one
+        sock.sendall(encode_frame(T_REQUEST, header, segments))
+        frame = read_frame(rfile)
+        assert frame is not None and frame[0] == T_RESPONSE
+        assert frame[1]["status"] == "ok"
+        # the server answers in its own schema; a v2 reader that
+        # tolerates unknown keys simply ignores ``trace``
+        assert frame[1]["schema"] == SCHEMA_VERSION
+        response = Response.from_wire(frame[1], frame[2])
+        assert response.ok and response.trace_id  # server-minted
+        sock.close()
+
+    def test_trace_id_round_trips_over_the_wire(self, server):
+        with RemoteClient(server.listen(), timeout=60.0) as client:
+            pending = client.submit("knn", {"x": 0.3, "y": 0.3, "z": 0.3})
+            minted = pending.request.trace_id
+            response = pending.result(60)
+        assert response.ok and response.trace_id == minted
+        # ... and the server's trace recorded stage spans under that id
+        traces = {
+            s.trace for s in server.metrics.trace.spans if s.trace is not None
+        }
+        assert minted in traces
+
+
+class TestTracingModes:
+    """The conformance surface with request tracing on and off."""
+
+    @pytest.fixture(params=["traced", "untraced"])
+    def mode_server(self, request, knn_service, vm_service):
+        opts = ServerOptions(
+            max_batch=16,
+            batch_deadline=0.02,
+            max_queue=128,
+            trace_requests=(request.param == "traced"),
+        )
+        with PipelineServer([knn_service, vm_service], opts) as srv:
+            yield srv
+
+    @pytest.fixture(params=["local", "remote"])
+    def mode_client(self, request, mode_server):
+        if request.param == "local":
+            client = LocalClient(mode_server, timeout=120.0)
+        else:
+            client = RemoteClient(mode_server.listen(), timeout=120.0)
+        with client:
+            yield client
+
+    def test_burst_and_stats_either_mode(self, mode_server, mode_client):
+        responses = mode_client.burst(
+            [("knn", {"x": 0.3, "y": 0.3, "z": 0.3})] * 4
+            + [("vmscope", {"query": "small"})]
+        )
+        assert all(r.ok for r in responses)
+        assert all(r.trace_id for r in responses)  # ids flow either way
+        stats = mode_client.stats(deep=True)
+        assert stats["served"] >= 5
+        assert stats["latency"]["p95"] > 0.0  # histograms always on
+        assert "windows" in stats
+        # per-request stage spans are gated by trace_requests; the
+        # per-execution spans (execute/request) stay on regardless
+        stage_spans = [
+            s
+            for s in mode_server.metrics.trace.spans
+            if s.phase in ("admission", "queue", "assemble", "extract", "write")
+        ]
+        if mode_server.options.trace_requests:
+            assert stage_spans and any(s.trace for s in stage_spans)
+        else:
+            assert not stage_spans
 
 
 # ---------------------------------------------------------------------------
